@@ -1,0 +1,605 @@
+// Package hammingmesh_test is the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md §2 for the
+// index and EXPERIMENTS.md for paper-vs-measured results). Each benchmark
+// prints the corresponding rows/series once; run with
+//
+//	go test -bench=. -benchmem
+//
+// Heavy experiments use the small-cluster (≈1k accelerator) configurations
+// with sampled iterations; the cmd/ tools expose the full parameter space.
+package hammingmesh_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"hammingmesh/internal/alloc"
+	"hammingmesh/internal/analysis"
+	"hammingmesh/internal/collective"
+	"hammingmesh/internal/core"
+	"hammingmesh/internal/cost"
+	"hammingmesh/internal/dnn"
+	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/topo"
+	"hammingmesh/internal/workload"
+)
+
+var printOnce sync.Map
+
+func once(key string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkTable2Cost regenerates the cost column of Table II for both
+// cluster sizes from the Appendix C inventories.
+func BenchmarkTable2Cost(b *testing.B) {
+	prices := cost.PaperPrices()
+	for i := 0; i < b.N; i++ {
+		small, large := cost.SmallCluster(), cost.LargeCluster()
+		once("t2cost", func() {
+			fmt.Println("\nTable II — cost [M$] (small / large; paper in parens)")
+			for j, inv := range small {
+				pw := cost.TableIICostMUSD[inv.Name]
+				fmt.Printf("  %-22s %7.2f (%5.1f)   %7.1f (%5.1f)\n",
+					inv.Name, inv.CostMUSD(prices), pw[0], large[j].CostMUSD(prices), pw[1])
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Diameter regenerates the diameter column: the paper's
+// closed forms plus BFS ground truth on the built small-cluster graphs.
+func BenchmarkTable2Diameter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := []struct {
+			name        string
+			closedSmall int
+			closedLarge int
+			graph       func() int
+		}{
+			{"nonblocking fat tree", analysis.FatTreeDiameter(1024, topo.NonblockingTree()),
+				analysis.FatTreeDiameter(16384, topo.NonblockingTree()),
+				func() int {
+					return topo.EndpointDiameter(topo.NewFatTree(1024, topo.NonblockingTree(), topo.DefaultLinkParams()), 32)
+				}},
+			{"dragonfly", 4, analysis.DragonflyDiameter(32, 17, 16, 30),
+				func() int {
+					return topo.EndpointDiameter(topo.NewDragonfly(topo.SmallDragonfly(topo.DefaultLinkParams())), 32)
+				}},
+			{"2D hyperx", analysis.HxMeshDiameter(1, 1, 32, 32), analysis.HxMeshDiameter(1, 1, 128, 128),
+				func() int {
+					return topo.EndpointDiameter(topo.NewHyperX2D(32, 32, topo.DefaultLinkParams()).Network, 16)
+				}},
+			{"hx2mesh", analysis.HxMeshDiameter(2, 2, 16, 16), analysis.HxMeshDiameter(2, 2, 64, 64),
+				func() int {
+					return topo.EndpointDiameter(topo.NewHxMesh(2, 2, 16, 16, topo.DefaultLinkParams()).Network, 16)
+				}},
+			{"hx4mesh", analysis.HxMeshDiameter(4, 4, 8, 8), analysis.HxMeshDiameter(4, 4, 32, 32),
+				func() int {
+					return topo.EndpointDiameter(topo.NewHxMesh(4, 4, 8, 8, topo.DefaultLinkParams()).Network, 16)
+				}},
+			{"2D torus", analysis.TorusDiameter(32, 32), analysis.TorusDiameter(128, 128),
+				func() int { return topo.EndpointDiameter(topo.NewTorus2D(32, 32, 2, 2, topo.DefaultLinkParams()), 8) }},
+		}
+		out := make([][3]int, len(rows))
+		for j, r := range rows {
+			out[j] = [3]int{r.closedSmall, r.closedLarge, r.graph()}
+		}
+		once("t2diam", func() {
+			fmt.Println("\nTable II — diameter (closed form small/large, BFS on built small graph)")
+			for j, r := range rows {
+				fmt.Printf("  %-22s %3d / %3d   graph=%d\n", r.name, out[j][0], out[j][1], out[j][2])
+			}
+		})
+	}
+}
+
+// BenchmarkTable2GlobalBW regenerates the global (alltoall) bandwidth
+// column with the flow-level solver on the small clusters.
+func BenchmarkTable2GlobalBW(b *testing.B) {
+	paper := map[string]float64{
+		"fattree": 99.9, "fattree50": 51.2, "fattree75": 25.7,
+		"dragonfly": 62.9, "hyperx": 91.6, "hx2mesh": 25.4, "hx4mesh": 11.3, "torus": 2.0,
+	}
+	for _, name := range core.TopologyNames() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := core.NewByName(name, core.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Flow-level serialized shifts (lower bound) ...
+				shareFlow, err := c.AlltoallShare(2, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// ... and packet-level with 16 concurrent shifts (the
+				// unsynchronized measurement). HyperX uses the switch-grid
+				// construction the paper simulates (topo.NewHyperXDirect);
+				// Dragonfly uses UGAL as in the paper's SST runs.
+				net := c.Net
+				if name == "hyperx" {
+					net = topo.NewHyperXDirect(32, 32, 4, topo.DefaultLinkParams())
+				}
+				inj := 4 * 50.0
+				if name == "fattree" || name == "fattree50" || name == "fattree75" || name == "dragonfly" {
+					inj = 50.0
+				}
+				cfg := netsim.DefaultConfig()
+				if name == "dragonfly" {
+					cfg.UGAL = netsim.UGALConfig{Enable: true, Candidates: 2}
+				}
+				sharePkt, err := netsim.AlltoallShareConcurrent(net, cfg, 32<<10, 16, inj, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*sharePkt, "%inject")
+				once("t2glob-"+name, func() {
+					fmt.Printf("  Table II global BW %-10s flow %5.1f%%  packet %5.1f%%  paper %5.1f%%\n",
+						name, 100*shareFlow, 100*sharePkt, paper[name])
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTable2AllreduceBW regenerates the allreduce bandwidth column by
+// packet-simulating steady ring traffic on the two Hamiltonian cycles.
+func BenchmarkTable2AllreduceBW(b *testing.B) {
+	paper := map[string]float64{
+		"fattree": 98.9, "hx2mesh": 98.3, "hx4mesh": 98.4, "torus": 98.1,
+	}
+	for _, name := range []string{"fattree", "hx2mesh", "hx4mesh", "torus"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := core.NewByName(name, core.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				share, err := c.AllreduceShare(512 << 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*share, "%peak")
+				once("t2ar-"+name, func() {
+					fmt.Printf("  Table II allreduce %-10s measured %5.1f%%  paper %5.1f%%\n",
+						name, 100*share, paper[name])
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig7JobSizeCDF regenerates the job-size board CDF.
+func BenchmarkFig7JobSizeCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := workload.AlibabaLike()
+		cdf := d.BoardCDF()
+		once("fig7", func() {
+			fmt.Println("\nFig. 7 — proportion of boards allocated to jobs ≤ size (2x2 boards)")
+			for j, s := range d.Sizes {
+				fmt.Printf("  %7.1f boards (%4d accels): %5.1f%%\n", float64(s)/4, s, 100*cdf[j])
+			}
+			fmt.Printf("  below 100 boards: %.0f%% (paper: 39%%)\n", 100*d.BoardShareBelow(400))
+		})
+	}
+}
+
+// BenchmarkFig8Utilization regenerates the system-utilization study on the
+// small 16x16 Hx2Mesh across all heuristic stacks (the paper also varies
+// the cluster; cmd/hxalloc exposes that).
+func BenchmarkFig8Utilization(b *testing.B) {
+	const mixes = 15
+	for i := 0; i < b.N; i++ {
+		d := workload.AlibabaLike()
+		results := map[string]workload.Stats{}
+		for _, h := range workload.Fig8Stacks() {
+			s := workload.NewSampler(d, 11)
+			rng := rand.New(rand.NewSource(13))
+			utils := make([]float64, 0, mixes)
+			for m := 0; m < mixes; m++ {
+				utils = append(utils, workload.RunMix(16, 16, s.Mix(256, 4), h, 0, rng).Utilization)
+			}
+			results[h.Name] = workload.Summarize(utils)
+		}
+		once("fig8", func() {
+			fmt.Println("\nFig. 8 — system utilization, small 16x16 Hx2Mesh")
+			for _, h := range workload.Fig8Stacks() {
+				st := results[h.Name]
+				fmt.Printf("  %-44s mean %5.1f%%  median %5.1f%%\n", h.Name, 100*st.Mean, 100*st.Median)
+			}
+		})
+	}
+}
+
+// BenchmarkFig9UpperLayerTraffic regenerates the upper-level fat-tree
+// traffic fractions for alltoall and allreduce traffic.
+func BenchmarkFig9UpperLayerTraffic(b *testing.B) {
+	const mixes = 6
+	for i := 0; i < b.N; i++ {
+		d := workload.AlibabaLike()
+		type row struct {
+			name    string
+			a2a, ar float64
+		}
+		var rows []row
+		for _, cl := range []struct {
+			name string
+			x, y int
+			apb  int
+		}{{"large 64x64 Hx2Mesh", 64, 64, 4}, {"large 32x32 Hx4Mesh", 32, 32, 16}} {
+			for _, h := range []workload.HeuristicStack{
+				{Name: "greedy"},
+				{Name: "greedy+transpose+aspect+sort+locality", Transpose: true, Aspect: true, Sort: true, Locality: true},
+			} {
+				s := workload.NewSampler(d, 21)
+				rng := rand.New(rand.NewSource(23))
+				a2a, ar := 0.0, 0.0
+				for m := 0; m < mixes; m++ {
+					r := workload.RunMix(cl.x, cl.y, s.Mix(cl.x*cl.y, cl.apb), h, 0, rng)
+					a2a += r.UpperA2A / mixes
+					ar += r.UpperAllred / mixes
+				}
+				rows = append(rows, row{cl.name + " / " + h.Name, a2a, ar})
+			}
+		}
+		once("fig9", func() {
+			fmt.Println("\nFig. 9 — upper-layer fat-tree traffic (alltoall / allreduce)")
+			for _, r := range rows {
+				fmt.Printf("  %-64s %5.1f%% / %5.1f%%\n", r.name, 100*r.a2a, 100*r.ar)
+			}
+			fmt.Println("  (paper: alltoall < 50%, allreduce < 15%, locality < 25% on Hx4Mesh)")
+		})
+	}
+}
+
+// BenchmarkFig10Failures regenerates utilization under random board
+// failures on the small clusters.
+func BenchmarkFig10Failures(b *testing.B) {
+	const mixes = 8
+	for i := 0; i < b.N; i++ {
+		d := workload.AlibabaLike()
+		type point struct {
+			cluster  string
+			failures int
+			sorted   bool
+			util     float64
+		}
+		var pts []point
+		for _, cl := range []struct {
+			name string
+			x, y int
+			apb  int
+		}{{"small 16x16 Hx2Mesh", 16, 16, 4}, {"small 8x8 Hx4Mesh", 8, 8, 16}} {
+			for _, failures := range []int{0, 10, 20, 40} {
+				if failures >= cl.x*cl.y {
+					continue
+				}
+				for _, sorted := range []bool{false, true} {
+					h := workload.HeuristicStack{Name: "stack", Transpose: true, Aspect: true, Sort: sorted}
+					s := workload.NewSampler(d, 31)
+					rng := rand.New(rand.NewSource(37))
+					u := 0.0
+					for m := 0; m < mixes; m++ {
+						u += workload.RunMix(cl.x, cl.y, s.Mix(cl.x*cl.y, cl.apb), h, failures, rng).Utilization / mixes
+					}
+					pts = append(pts, point{cl.name, failures, sorted, u})
+				}
+			}
+		}
+		once("fig10", func() {
+			fmt.Println("\nFig. 10 — utilization of working boards vs failed boards")
+			for _, p := range pts {
+				mode := "unsorted"
+				if p.sorted {
+					mode = "sorted"
+				}
+				fmt.Printf("  %-22s %3d failures %-8s %5.1f%%\n", p.cluster, p.failures, mode, 100*p.util)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Alltoall regenerates the alltoall bandwidth vs message
+// size curves (small topologies) from the schedule model with simulated
+// sustained shares.
+func BenchmarkFig11Alltoall(b *testing.B) {
+	shares := map[string]float64{
+		"fattree": 0.999, "fattree50": 0.512, "fattree75": 0.257,
+		"dragonfly": 0.629, "hyperx": 0.916, "hx2mesh": 0.254, "hx4mesh": 0.113, "torus": 0.02,
+	}
+	sizes := []float64{1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20}
+	for i := 0; i < b.N; i++ {
+		pr := collective.DefaultParams()
+		out := map[string][]float64{}
+		for name, share := range shares {
+			for _, s := range sizes {
+				out[name] = append(out[name], collective.AlltoallBandwidth(1024, s, share, pr))
+			}
+		}
+		once("fig11", func() {
+			fmt.Println("\nFig. 11 — alltoall bandwidth [GB/s per endpoint] vs message size, small topologies")
+			fmt.Printf("  %-10s", "topology")
+			for _, s := range sizes {
+				fmt.Printf(" %8.0fKiB", s/1024)
+			}
+			fmt.Println()
+			names := make([]string, 0, len(out))
+			for n := range out {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf("  %-10s", n)
+				for _, v := range out[n] {
+					fmt.Printf(" %11.1f", v)
+				}
+				fmt.Println()
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Permutation regenerates the per-endpoint bandwidth
+// distribution under random permutation traffic (packet-level, small
+// Hx2Mesh and fat tree).
+func BenchmarkFig12Permutation(b *testing.B) {
+	for _, name := range []string{"fattree", "hx2mesh", "hx4mesh"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := core.NewByName(name, core.Small)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bws, err := c.PermutationGBps(64<<10, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sort.Float64s(bws)
+				mean := 0.0
+				for _, v := range bws {
+					mean += v
+				}
+				mean /= float64(len(bws))
+				b.ReportMetric(mean, "GB/s")
+				once("fig12-"+name, func() {
+					fmt.Printf("  Fig. 12 permutation %-10s min %5.1f  p50 %5.1f  max %5.1f  mean %5.1f GB/s\n",
+						name, bws[0], bws[len(bws)/2], bws[len(bws)-1], mean)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Allreduce regenerates the large-cluster allreduce
+// bandwidth curves: two bidirectional Hamiltonian rings vs the 2D-torus
+// algorithm.
+func BenchmarkFig13Allreduce(b *testing.B) {
+	benchAllreduceCurves(b, "fig13", "Fig. 13 — global allreduce, large cluster (16,384 accelerators)", 16384)
+}
+
+// BenchmarkFig17AllreduceSmall is the small-cluster variant (Appendix G).
+func BenchmarkFig17AllreduceSmall(b *testing.B) {
+	benchAllreduceCurves(b, "fig17", "Fig. 17 — global allreduce, small cluster (1,024 accelerators)", 1024)
+}
+
+func benchAllreduceCurves(b *testing.B, key, title string, p int) {
+	sizes := []float64{1 << 20, 16 << 20, 256 << 20, 1 << 30, 4 << 30, 16 << 30}
+	for i := 0; i < b.N; i++ {
+		pr := collective.DefaultParams()
+		rings := make([]float64, len(sizes))
+		torus := make([]float64, len(sizes))
+		for j, s := range sizes {
+			rings[j] = collective.AllreduceBandwidth(s, collective.TwoRingsAllreduceTime(p, s, pr))
+			torus[j] = collective.AllreduceBandwidth(s, collective.Torus2DAllreduceTime(p, s, pr))
+		}
+		once(key, func() {
+			fmt.Printf("\n%s [GB/s]\n  %-8s", title, "size")
+			for _, s := range sizes {
+				fmt.Printf(" %9.0fKiB", s/1024)
+			}
+			fmt.Printf("\n  %-8s", "rings")
+			for _, v := range rings {
+				fmt.Printf(" %12.1f", v)
+			}
+			fmt.Printf("\n  %-8s", "torus")
+			for _, v := range torus {
+				fmt.Printf(" %12.1f", v)
+			}
+			fmt.Println()
+		})
+	}
+}
+
+// BenchmarkFig6Tapering measures ring-allreduce and alltoall bandwidth on
+// an HxMesh whose per-dimension trees are tapered (§III-F): ring traffic
+// needs only two ports between neighboring switches, so allreduce holds
+// while alltoall drops with the taper.
+func BenchmarkFig6Tapering(b *testing.B) {
+	for _, taper := range []float64{0, 0.5, 0.75} {
+		b.Run(fmt.Sprintf("taper%.0f%%", 100*taper), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lp := topo.DefaultLinkParams()
+				h := topo.NewHxMeshConfig(topo.HxMeshConfig{
+					A: 2, B: 2, X: 40, Y: 4, Taper: taper, LP: lp, // 2x=80 forces trees in x
+				})
+				r1, r2, err := collective.TwoRingsOnHxMesh(h)
+				if err != nil {
+					b.Fatal(err)
+				}
+				share, err := collective.MeasureAllreduceShare(h.Network,
+					[][]topo.NodeID{r1, r2}, 256<<10, netsim.DefaultConfig(), 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*share, "%peak")
+				once(fmt.Sprintf("fig6-%.2f", taper), func() {
+					fmt.Printf("  Fig. 6/§III-F taper %.0f%%: ring allreduce %5.1f%% of peak (rings survive tapering)\n",
+						100*taper, 100*share)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFig15DNNCostSavings regenerates the Fig. 15 savings matrix.
+func BenchmarkFig15DNNCostSavings(b *testing.B) {
+	costs := map[string]float64{
+		"fattree": 25.3, "fattree50": 17.6, "fattree75": 13.2, "dragonfly": 27.9,
+		"hyperx": 10.8, "hx2mesh": 5.4, "hx4mesh": 2.7, "torus": 2.5,
+	}
+	for i := 0; i < b.N; i++ {
+		perfs := dnn.StandardPerf()
+		type cell struct {
+			model, vs string
+			val       float64
+		}
+		var table []cell
+		for _, hx := range []string{"hx2mesh", "hx4mesh"} {
+			hxPerf, _ := dnn.PerfByName(hx)
+			for _, m := range dnn.Models() {
+				for _, p := range perfs {
+					if p.Name == hx || p.Name == "dragonfly" {
+						continue
+					}
+					table = append(table, cell{m.Name, hx + " vs " + p.Name,
+						dnn.CostSaving(m, costs[hx], costs[p.Name], hxPerf, p)})
+				}
+			}
+		}
+		once("fig15", func() {
+			fmt.Println("\nFig. 15 — relative cost savings (>1 favors the HxMesh)")
+			for _, c := range table {
+				fmt.Printf("  %-12s %-24s %5.1fx\n", c.model, c.vs, c.val)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive compares adaptive (least-queued), random and
+// deterministic output selection under permutation traffic.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	for _, choice := range []struct {
+		name string
+		c    netsim.Choice
+	}{{"least-queued", netsim.LeastQueued}, {"random", netsim.RandomCandidate}, {"deterministic", netsim.FirstCandidate}} {
+		b.Run(choice.name, func(b *testing.B) {
+			h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+			rng := rand.New(rand.NewSource(3))
+			flows := netsim.PermutationFlows(h.Endpoints, 256<<10, rng)
+			for i := 0; i < b.N; i++ {
+				cfg := netsim.DefaultConfig()
+				cfg.Choice = choice.c
+				res, err := netsim.New(h.Network, nil, cfg).Run(flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AggregateGBps(), "GB/s")
+				once("abl-adaptive-"+choice.name, func() {
+					fmt.Printf("  ablation routing %-14s aggregate %6.1f GB/s\n", choice.name, res.AggregateGBps())
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFlowControl compares ideal buffers against credit-based
+// flow control with small buffers.
+func BenchmarkAblationFlowControl(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    netsim.Mode
+	}{{"ideal", netsim.IdealBuffers}, {"credit", netsim.CreditFC}} {
+		b.Run(mode.name, func(b *testing.B) {
+			h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+			rng := rand.New(rand.NewSource(5))
+			flows := netsim.PermutationFlows(h.Endpoints, 256<<10, rng)
+			for i := 0; i < b.N; i++ {
+				cfg := netsim.DefaultConfig()
+				cfg.Mode = mode.m
+				cfg.LP.BufferB = 128 << 10
+				res, err := netsim.New(h.Network, nil, cfg).Run(flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Deadlocked {
+					b.Fatal("deadlock")
+				}
+				b.ReportMetric(res.AggregateGBps(), "GB/s")
+				once("abl-fc-"+mode.name, func() {
+					fmt.Printf("  ablation flow control %-7s aggregate %6.1f GB/s\n", mode.name, res.AggregateGBps())
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAllreduceAlgo compares the four allreduce schedules at
+// a representative size.
+func BenchmarkAblationAllreduceAlgo(b *testing.B) {
+	pr := collective.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		type row struct {
+			algo collective.AllreduceAlgorithm
+			t    float64
+		}
+		var rows []row
+		for _, a := range []collective.AllreduceAlgorithm{collective.AlgoRing, collective.AlgoBidirRing, collective.AlgoTwoRings, collective.AlgoTorus2D, collective.AlgoTree} {
+			rows = append(rows, row{a, collective.AllreduceTime(a, 1024, 64<<20, pr)})
+		}
+		once("abl-ar", func() {
+			fmt.Println("  ablation allreduce algorithms, p=1024, S=64 MiB:")
+			for _, r := range rows {
+				fmt.Printf("    %-10s %8.1f us\n", r.algo, r.t/1000)
+			}
+		})
+	}
+}
+
+// BenchmarkHamiltonianRings measures the disjoint-ring construction.
+func BenchmarkHamiltonianRings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r1, r2, err := collective.DisjointHamiltonianRings(64, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r1) != 4096 || len(r2) != 4096 {
+			b.Fatal("bad rings")
+		}
+	}
+}
+
+// BenchmarkAllocator measures the greedy allocator on a 1000x1000 grid
+// (§IV-A reports sub-second allocation at that scale).
+func BenchmarkAllocator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := alloc.NewGrid(1000, 1000)
+		for j := int32(0); j < 100; j++ {
+			if _, ok := g.Allocate(j, 10, 10, alloc.Options{Transpose: true}); !ok {
+				b.Fatal("allocation failed")
+			}
+		}
+	}
+}
+
+// BenchmarkPacketSim measures raw simulator throughput (events/sec).
+func BenchmarkPacketSim(b *testing.B) {
+	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+	rng := rand.New(rand.NewSource(9))
+	flows := netsim.PermutationFlows(h.Endpoints, 512<<10, rng)
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := netsim.New(h.Network, nil, netsim.DefaultConfig()).Run(flows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

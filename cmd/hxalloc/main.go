@@ -1,0 +1,67 @@
+// Command hxalloc reproduces the allocation study of §IV-B: the job-size
+// CDF (Fig. 7), system utilization under the heuristic stacks (Fig. 8),
+// the upper-layer fat-tree traffic fractions (Fig. 9), and utilization
+// under board failures (Fig. 10).
+//
+// Usage:
+//
+//	hxalloc -grid 16x16 -mixes 100            # Fig. 8 on the small Hx2Mesh
+//	hxalloc -grid 32x32 -mixes 50 -failures 100  # Fig. 10, large Hx4Mesh
+//	hxalloc -cdf                               # Fig. 7 distribution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hammingmesh/internal/workload"
+)
+
+func main() {
+	grid := flag.String("grid", "16x16", "board grid (XxY)")
+	mixes := flag.Int("mixes", 100, "number of random job mixes (paper: 1000)")
+	failures := flag.Int("failures", 0, "randomly failed boards")
+	seed := flag.Int64("seed", 1, "random seed")
+	board := flag.Int("board", 4, "accelerators per board (4 for Hx2Mesh, 16 for Hx4Mesh)")
+	cdf := flag.Bool("cdf", false, "print the job-size board CDF (Fig. 7) and exit")
+	flag.Parse()
+
+	d := workload.AlibabaLike()
+	if *cdf {
+		fmt.Println("job size [boards]  P(size)   board CDF (Fig. 7)")
+		c := d.BoardCDF()
+		for i, s := range d.Sizes {
+			fmt.Printf("%17d  %7.4f   %.3f\n", s, d.Probs[i], c[i])
+		}
+		fmt.Printf("\nboards allocated to jobs < 100 boards: %.0f%% (paper: 39%%)\n",
+			100*d.BoardShareBelow(400))
+		return
+	}
+
+	var x, y int
+	if _, err := fmt.Sscanf(*grid, "%dx%d", &x, &y); err != nil || x < 1 || y < 1 {
+		fmt.Fprintf(os.Stderr, "bad -grid %q\n", *grid)
+		os.Exit(1)
+	}
+	fmt.Printf("grid %dx%d (%d boards), %d mixes, %d failed boards\n\n", x, y, x*y, *mixes, *failures)
+	fmt.Printf("%-42s %6s %6s %6s | %9s %9s\n", "heuristics (Fig. 8)", "mean", "median", "p99", "a2a-upper", "ar-upper")
+	for _, h := range workload.Fig8Stacks() {
+		sampler := workload.NewSampler(d, *seed)
+		rng := rand.New(rand.NewSource(*seed + 99))
+		utils := make([]float64, 0, *mixes)
+		a2a, ar := 0.0, 0.0
+		for m := 0; m < *mixes; m++ {
+			mix := sampler.Mix(x*y, *board)
+			r := workload.RunMix(x, y, mix, h, *failures, rng)
+			utils = append(utils, r.Utilization)
+			a2a += r.UpperA2A
+			ar += r.UpperAllred
+		}
+		s := workload.Summarize(utils)
+		fmt.Printf("%-42s %5.1f%% %5.1f%% %5.1f%% | %8.1f%% %8.1f%%\n",
+			h.Name, 100*s.Mean, 100*s.Median, 100*s.P99,
+			100*a2a/float64(*mixes), 100*ar/float64(*mixes))
+	}
+}

@@ -1,0 +1,65 @@
+// Command hxcost regenerates the cost-related columns of Table II: for the
+// small (≈1k) and large (≈16k) clusters it prints, per topology, the
+// switch/cable inventory (Appendix C), total capital cost at the paper's
+// Colfaxdirect prices (Appendix E), and the raw cost savings of each
+// HxMesh variant.
+//
+// Usage:
+//
+//	hxcost [-size small|large|both] [-verify]
+//
+// With -verify, the graph builders are instantiated and their derived
+// inventories are compared against the Appendix C closed-form counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hammingmesh/internal/core"
+	"hammingmesh/internal/cost"
+)
+
+func main() {
+	size := flag.String("size", "both", "cluster size: small, large or both")
+	verify := flag.Bool("verify", false, "cross-check inventories against built graphs (small cluster only)")
+	flag.Parse()
+
+	prices := cost.PaperPrices()
+	fmt.Printf("unit prices: switch $%.0f, DAC $%.0f, AoC $%.0f\n\n", prices.SwitchUSD, prices.DACUSD, prices.AoCUSD)
+
+	show := func(title string, invs []cost.Inventory, col int) {
+		fmt.Printf("%s\n", title)
+		fmt.Printf("%-22s %9s %9s %9s %7s %10s %10s\n",
+			"topology", "sw/plane", "DAC/plane", "AoC/plane", "planes", "cost [M$]", "paper [M$]")
+		for _, inv := range invs {
+			paper := cost.TableIICostMUSD[inv.Name][col]
+			fmt.Printf("%-22s %9d %9d %9d %7d %10.2f %10.1f\n",
+				inv.Name, inv.SwitchesPerPlane, inv.DACPerPlane, inv.AoCPerPlane,
+				inv.Planes, inv.CostMUSD(prices), paper)
+		}
+		fmt.Println()
+	}
+	if *size == "small" || *size == "both" {
+		show("Small cluster (≈1,024 accelerators) — Table II left", cost.SmallCluster(), 0)
+	}
+	if *size == "large" || *size == "both" {
+		show("Large cluster (≈16,384 accelerators) — Table II right", cost.LargeCluster(), 1)
+	}
+
+	if *verify {
+		fmt.Println("graph-derived inventories (small cluster):")
+		for _, name := range []string{"hyperx", "hx2mesh", "hx4mesh", "torus", "fattree"} {
+			c, err := core.NewByName(name, core.Small)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			inv := c.Inventory()
+			fmt.Printf("%-22s sw=%d DAC=%d AoC=%d planes=%d cost=%.2f M$\n",
+				name, inv.SwitchesPerPlane, inv.DACPerPlane, inv.AoCPerPlane, inv.Planes,
+				inv.CostMUSD(prices))
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command hxdnn reproduces the DNN workload study of §V-B and Fig. 15:
+// per-topology iteration times of ResNet-152, CosmoFlow, GPT-3, GPT-3 MoE
+// and DLRM, and the relative cost savings of Hx2Mesh and Hx4Mesh against
+// every other topology.
+//
+// Usage:
+//
+//	hxdnn               # iteration-time table + Fig. 15 savings
+//	hxdnn -paper        # also print the paper's reported runtimes
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hammingmesh/internal/cost"
+	"hammingmesh/internal/dnn"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "include the paper's reported runtimes")
+	flag.Parse()
+
+	perfs := dnn.StandardPerf()
+	models := dnn.Models()
+
+	fmt.Println("modeled iteration time [ms] (small-cluster effective bandwidths):")
+	fmt.Printf("%-12s", "model")
+	for _, p := range perfs {
+		fmt.Printf(" %10s", p.Name)
+	}
+	fmt.Println()
+	for _, m := range models {
+		fmt.Printf("%-12s", m.Name)
+		for _, p := range perfs {
+			fmt.Printf(" %10.2f", dnn.IterationMS(m, p))
+		}
+		fmt.Println()
+	}
+	if *paper {
+		fmt.Println("\npaper-reported iteration time [ms]:")
+		for _, m := range models {
+			fmt.Printf("%-12s", m.Name)
+			for _, p := range perfs {
+				if v, ok := dnn.PaperRuntimesMS[m.Name][p.Name]; ok {
+					fmt.Printf(" %10.2f", v)
+				} else {
+					fmt.Printf(" %10s", "-")
+				}
+			}
+			fmt.Println()
+		}
+	}
+
+	// Fig. 15: cost savings of Hx2Mesh and Hx4Mesh vs the others.
+	prices := cost.PaperPrices()
+	costs := map[string]float64{}
+	for _, inv := range cost.SmallCluster() {
+		costs[invKey(inv.Name)] = inv.Cost(prices)
+	}
+	for _, hx := range []string{"hx2mesh", "hx4mesh"} {
+		hxPerf, _ := dnn.PerfByName(hx)
+		fmt.Printf("\nFig. 15 — relative cost saving of %s vs others (>1 favors %s):\n", hx, hx)
+		fmt.Printf("%-12s", "model")
+		for _, p := range perfs {
+			if p.Name == hx {
+				continue
+			}
+			fmt.Printf(" %10s", p.Name)
+		}
+		fmt.Println()
+		for _, m := range models {
+			fmt.Printf("%-12s", m.Name)
+			for _, p := range perfs {
+				if p.Name == hx {
+					continue
+				}
+				s := dnn.CostSaving(m, costs[hx], costs[p.Name], hxPerf, p)
+				fmt.Printf(" %10.1f", s)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// invKey maps inventory names to perf names.
+func invKey(name string) string {
+	switch name {
+	case "nonblocking fat tree":
+		return "fattree"
+	case "50% tapered fat tree":
+		return "fattree50"
+	case "75% tapered fat tree":
+		return "fattree75"
+	case "2D hyperx":
+		return "hyperx"
+	case "2D torus":
+		return "torus"
+	}
+	return name
+}

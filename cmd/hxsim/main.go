@@ -1,0 +1,91 @@
+// Command hxsim runs the paper's microbenchmarks (§V-A) on any Table II
+// topology: alltoall global bandwidth (Fig. 11 / Table II), random
+// permutation bandwidth distributions (Fig. 12), and ring/torus allreduce
+// (Figs. 13, 17 / Table II).
+//
+// Usage:
+//
+//	hxsim -topo hx2mesh -size tiny -pattern alltoall -bytes 262144
+//	hxsim -topo fattree -size small -pattern allreduce
+//	hxsim -topo hx4mesh -size tiny -pattern permutation -credit
+//
+// Sizes: tiny (≈64 accels, packet-level), small (≈1k, flow-level where
+// needed), large (≈16k, flow-level/analytic only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hammingmesh/internal/core"
+	"hammingmesh/internal/netsim"
+)
+
+func main() {
+	topoName := flag.String("topo", "hx2mesh", "topology name (fattree, fattree50, fattree75, dragonfly, hyperx, hx2mesh, hx4mesh, torus)")
+	size := flag.String("size", "tiny", "cluster size: tiny, small, large")
+	pattern := flag.String("pattern", "alltoall", "traffic pattern: alltoall, permutation, allreduce")
+	bytes := flag.Int64("bytes", 256<<10, "bytes per flow / per peer")
+	shifts := flag.Int("shifts", 8, "sampled shift iterations for alltoall")
+	seed := flag.Int64("seed", 1, "random seed")
+	credit := flag.Bool("credit", false, "use credit-based flow control instead of ideal buffers")
+	flag.Parse()
+
+	c, err := core.NewByName(*topoName, core.ClusterSize(*size))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology %s (%s): %d endpoints, %d switches/plane, diameter %d, cost %.2f M$\n",
+		*topoName, *size, c.Net.NumEndpoints(), c.Net.NumSwitches(), c.Diameter(), c.CostMUSD())
+
+	switch *pattern {
+	case "alltoall":
+		// Flow-level estimate (fast) plus packet-level on tiny systems.
+		shareFlow, err := c.AlltoallShare(*shifts, uint64(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("alltoall global bandwidth share (flow-level): %.1f%% of injection\n", 100*shareFlow)
+		if *size == string(core.Tiny) {
+			cfg := netsim.DefaultConfig()
+			cfg.Seed = *seed
+			if *credit {
+				cfg.Mode = netsim.CreditFC
+			}
+			sharePkt, err := c.AlltoallSharePacket(*bytes, *shifts, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("alltoall global bandwidth share (packet-level, %d B/peer): %.1f%%\n", *bytes, 100*sharePkt)
+		}
+	case "permutation":
+		bws, err := c.PermutationGBps(*bytes, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sort.Float64s(bws)
+		mean := 0.0
+		for _, b := range bws {
+			mean += b
+		}
+		mean /= float64(len(bws))
+		fmt.Printf("permutation receive bandwidth per endpoint [GB/s]: min=%.1f p25=%.1f median=%.1f p75=%.1f max=%.1f mean=%.1f\n",
+			bws[0], bws[len(bws)/4], bws[len(bws)/2], bws[3*len(bws)/4], bws[len(bws)-1], mean)
+	case "allreduce":
+		share, err := c.AllreduceShare(*bytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ring allreduce bandwidth: %.1f%% of the theoretical optimum (inj/2)\n", 100*share)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(1)
+	}
+}

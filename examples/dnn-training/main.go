@@ -1,0 +1,62 @@
+// DNN training walkthrough: models one training iteration of the paper's
+// five workloads (§V-B) on every Table II topology, shows how collective
+// algorithm selection works (Fig. 13), and computes the Fig. 15 cost
+// savings for a model of the user's choice.
+package main
+
+import (
+	"fmt"
+
+	"hammingmesh/internal/collective"
+	"hammingmesh/internal/cost"
+	"hammingmesh/internal/dnn"
+)
+
+func main() {
+	// --- Collective algorithm selection (Fig. 13) -------------------------
+	fmt.Println("== allreduce algorithm selection on 4,096 accelerators ==")
+	pr := collective.DefaultParams()
+	for _, bytes := range []float64{1 << 10, 64 << 10, 1 << 20, 16 << 20, 1 << 30} {
+		algo, t := collective.BestAllreduce(4096, bytes, pr)
+		bw := collective.AllreduceBandwidth(bytes, t)
+		fmt.Printf("S=%8.0f KiB: best=%-10s time=%8.1f us  bw=%6.1f GB/s\n",
+			bytes/1024, algo, t/1000, bw)
+	}
+	fmt.Println()
+
+	// --- Per-model iteration times (§V-B) ---------------------------------
+	fmt.Println("== modeled iteration times [ms] ==")
+	perfs := dnn.StandardPerf()
+	for _, m := range dnn.Models() {
+		fmt.Printf("%-12s (D=%d P=%d O=%d, compute %.1f ms)\n", m.Name, m.D, m.P, m.O, m.ComputeMS)
+		for _, p := range perfs {
+			it := dnn.IterationMS(m, p)
+			overhead := 100 * (it - m.ComputeMS) / it
+			fmt.Printf("   %-10s %8.2f ms (%4.1f%% communication)\n", p.Name, it, overhead)
+		}
+	}
+	fmt.Println()
+
+	// --- Fig. 15 for GPT-3 --------------------------------------------------
+	fmt.Println("== Fig. 15: GPT-3 cost savings of Hx4Mesh ==")
+	prices := cost.PaperPrices()
+	var gpt dnn.Model
+	for _, m := range dnn.Models() {
+		if m.Name == "GPT-3" {
+			gpt = m
+		}
+	}
+	hx4, _ := dnn.PerfByName("hx4mesh")
+	costOf := map[string]float64{
+		"fattree": 25.3, "fattree50": 17.6, "fattree75": 13.2,
+		"dragonfly": 27.9, "hyperx": 10.8, "hx2mesh": 5.4, "torus": 2.5,
+	}
+	_ = prices
+	for _, p := range perfs {
+		if p.Name == "hx4mesh" {
+			continue
+		}
+		s := dnn.CostSaving(gpt, 2.7, costOf[p.Name], hx4, p)
+		fmt.Printf("   vs %-10s %5.1fx\n", p.Name, s)
+	}
+}

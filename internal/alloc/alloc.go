@@ -1,0 +1,372 @@
+// Package alloc implements the HammingMesh job allocator of §IV: the
+// greedy row-intersection strategy, the transpose / aspect-ratio / sort /
+// locality optimization heuristics, failure handling through virtual
+// sub-HxMeshes, defragmentation, and the upper-layer fat-tree traffic
+// accounting behind Fig. 9.
+//
+// A job requests a u×v grid of boards. A valid placement is a set of u
+// rows and v columns such that every (row, column) board is available;
+// because every selected row uses the same column coordinates, the
+// placement forms a virtual sub-HxMesh with the same network properties
+// as a physical u×v HxMesh (§III-E), and no two jobs ever share a board,
+// row segment or column segment in a way that lets packets cross foreign
+// boards (§IV-A, job interference).
+package alloc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Grid is the allocator's view of an x×y HxMesh: a matrix of boards that
+// are free, failed, or owned by a job.
+type Grid struct {
+	X, Y  int
+	owner []int32 // -1 free, -2 failed, otherwise job id
+}
+
+// Free and Failed are the non-job owner values.
+const (
+	Free   int32 = -1
+	Failed int32 = -2
+)
+
+// NewGrid creates an empty allocation grid of x columns and y rows.
+func NewGrid(x, y int) *Grid {
+	g := &Grid{X: x, Y: y, owner: make([]int32, x*y)}
+	for i := range g.owner {
+		g.owner[i] = Free
+	}
+	return g
+}
+
+// Owner returns the owner of board (bx, by).
+func (g *Grid) Owner(bx, by int) int32 { return g.owner[by*g.X+bx] }
+
+// Fail marks board (bx, by) as failed. Failing an owned board evicts the
+// job (the caller decides whether to reschedule it).
+func (g *Grid) Fail(bx, by int) int32 {
+	prev := g.owner[by*g.X+bx]
+	g.owner[by*g.X+bx] = Failed
+	if prev >= 0 {
+		for i, o := range g.owner {
+			if o == prev {
+				g.owner[i] = Free
+			}
+		}
+	}
+	return prev
+}
+
+// Release frees all boards of a job.
+func (g *Grid) Release(job int32) {
+	for i, o := range g.owner {
+		if o == job {
+			g.owner[i] = Free
+		}
+	}
+}
+
+// Reset frees every non-failed board (checkpoint/restart defragmentation,
+// §IV-A(b)).
+func (g *Grid) Reset() {
+	for i, o := range g.owner {
+		if o >= 0 {
+			g.owner[i] = Free
+		}
+	}
+}
+
+// WorkingBoards counts the non-failed boards.
+func (g *Grid) WorkingBoards() int {
+	n := 0
+	for _, o := range g.owner {
+		if o != Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// AllocatedBoards counts boards owned by jobs.
+func (g *Grid) AllocatedBoards() int {
+	n := 0
+	for _, o := range g.owner {
+		if o >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization is allocated / working boards (the metric of Figs. 8 and 10).
+func (g *Grid) Utilization() float64 {
+	w := g.WorkingBoards()
+	if w == 0 {
+		return 0
+	}
+	return float64(g.AllocatedBoards()) / float64(w)
+}
+
+// Placement is a successful allocation: the selected physical rows and
+// columns. Virtual coordinate (i, j) maps to physical board
+// (Cols[j], Rows[i]).
+type Placement struct {
+	Job  int32
+	Rows []int // physical row indexes, ascending, len u
+	Cols []int // physical column indexes, ascending, len v
+}
+
+// U and V return the placement's dimensions.
+func (p *Placement) U() int { return len(p.Rows) }
+func (p *Placement) V() int { return len(p.Cols) }
+
+// colSet is a bitset over board columns.
+type colSet []uint64
+
+func newColSet(x int) colSet { return make(colSet, (x+63)/64) }
+
+func (s colSet) set(i int) { s[i/64] |= 1 << (i % 64) }
+func (s colSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+func (s colSet) andInto(dst colSet, o colSet) {
+	for i := range dst {
+		dst[i] = s[i] & o[i]
+	}
+}
+func (s colSet) indices(x int) []int {
+	out := make([]int, 0, s.count())
+	for i := 0; i < x; i++ {
+		if s[i/64]&(1<<(i%64)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// availRows returns, per row, the bitset of free columns.
+func (g *Grid) availRows() []colSet {
+	rows := make([]colSet, g.Y)
+	for by := 0; by < g.Y; by++ {
+		s := newColSet(g.X)
+		for bx := 0; bx < g.X; bx++ {
+			if g.owner[by*g.X+bx] == Free {
+				s.set(bx)
+			}
+		}
+		rows[by] = s
+	}
+	return rows
+}
+
+// place finds a u×v placement with the greedy row-intersection strategy of
+// §IV-A: starting from each candidate row in turn, grow the selected set S
+// with rows whose intersection with the running column set keeps at least
+// v columns, until u rows are collected.
+func (g *Grid) place(u, v int) (rows []int, cols colSet, ok bool) {
+	if u > g.Y || v > g.X || u <= 0 || v <= 0 {
+		return nil, nil, false
+	}
+	avail := g.availRows()
+	inter := newColSet(g.X)
+	for start := 0; start+u <= g.Y+0 && start < g.Y; start++ {
+		if avail[start].count() < v {
+			continue
+		}
+		copy(inter, avail[start])
+		rows = rows[:0]
+		rows = append(rows, start)
+		for r := start + 1; r < g.Y && len(rows) < u; r++ {
+			trial := newColSet(g.X)
+			avail[r].andInto(trial, inter)
+			if trial.count() >= v {
+				copy(inter, trial)
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == u {
+			return rows, inter, true
+		}
+	}
+	return nil, nil, false
+}
+
+// Options toggles the §IV-A optimization heuristics.
+type Options struct {
+	// Transpose retries a failed u×v request as v×u.
+	Transpose bool
+	// AspectRatio allows reshaping the job to any u'×v' with
+	// u'·v' = u·v and max aspect ratio at most MaxAspect (8 in the paper).
+	AspectRatio bool
+	MaxAspect   int
+	// Locality evaluates all candidate shapes and picks the one with the
+	// lowest upper-layer alltoall traffic (§IV-A Locality).
+	Locality bool
+	// TreeGroupBoards is the number of boards covered by one first-level
+	// switch of the per-dimension fat trees, used by the locality score
+	// and the Fig. 9 accounting. Zero means 16 (32 L1 down-ports at two
+	// ports per board).
+	TreeGroupBoards int
+}
+
+// DefaultOptions enables everything with the paper's parameters.
+func DefaultOptions() Options {
+	return Options{Transpose: true, AspectRatio: true, MaxAspect: 8, Locality: true, TreeGroupBoards: 16}
+}
+
+// shapes enumerates the (u, v) candidates for a job of `boards` boards
+// under the options, squarest first.
+func shapes(u, v int, opt Options) [][2]int {
+	var out [][2]int
+	add := func(a, b int) {
+		for _, s := range out {
+			if s[0] == a && s[1] == b {
+				return
+			}
+		}
+		out = append(out, [2]int{a, b})
+	}
+	add(u, v)
+	if opt.Transpose {
+		add(v, u)
+	}
+	if opt.AspectRatio {
+		n := u * v
+		maxAspect := opt.MaxAspect
+		if maxAspect <= 0 {
+			maxAspect = 8
+		}
+		var facs [][2]int
+		for a := 1; a*a <= n; a++ {
+			if n%a != 0 {
+				continue
+			}
+			b := n / a
+			if b/a <= maxAspect {
+				facs = append(facs, [2]int{a, b})
+				if a != b {
+					facs = append(facs, [2]int{b, a})
+				}
+			}
+		}
+		sort.Slice(facs, func(i, j int) bool {
+			di := facs[i][1] - facs[i][0]
+			if di < 0 {
+				di = -di
+			}
+			dj := facs[j][1] - facs[j][0]
+			if dj < 0 {
+				dj = -dj
+			}
+			return di < dj
+		})
+		for _, f := range facs {
+			add(f[0], f[1])
+		}
+	}
+	return out
+}
+
+// Allocate places a u×v job, applying the enabled heuristics, and commits
+// the first (or, with Locality, best-scoring) placement. It returns false
+// when no shape fits.
+func (g *Grid) Allocate(job int32, u, v int, opt Options) (*Placement, bool) {
+	if job < 0 {
+		panic(fmt.Sprintf("alloc: invalid job id %d", job))
+	}
+	groupBoards := opt.TreeGroupBoards
+	if groupBoards <= 0 {
+		groupBoards = 16
+	}
+	var best *Placement
+	bestScore := 0.0
+	for _, s := range shapes(u, v, opt) {
+		rows, cols, ok := g.place(s[0], s[1])
+		if !ok {
+			continue
+		}
+		colIdx := cols.indices(g.X)
+		// The intersection may hold more than v columns; pick the v
+		// columns that minimize spread (consecutive window with the
+		// fewest L1-group crossings), a cheap locality refinement.
+		colIdx = bestWindow(colIdx, s[1], groupBoards)
+		p := &Placement{Job: job, Rows: append([]int{}, rows...), Cols: colIdx}
+		if !opt.Locality {
+			g.commit(p)
+			return p, true
+		}
+		score := UpperLayerFraction(p, TrafficAlltoall, groupBoards)
+		if best == nil || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	g.commit(best)
+	return best, true
+}
+
+// bestWindow picks w consecutive entries of sorted idx minimizing the
+// number of distinct L1 groups covered (fewest upper-layer crossings).
+func bestWindow(idx []int, w, groupBoards int) []int {
+	if len(idx) <= w {
+		return idx
+	}
+	bestStart, bestGroups, bestSpan := 0, 1<<30, 1<<30
+	for s := 0; s+w <= len(idx); s++ {
+		groups := map[int]bool{}
+		for _, c := range idx[s : s+w] {
+			groups[c/groupBoards] = true
+		}
+		span := idx[s+w-1] - idx[s]
+		if len(groups) < bestGroups || (len(groups) == bestGroups && span < bestSpan) {
+			bestStart, bestGroups, bestSpan = s, len(groups), span
+		}
+	}
+	return append([]int{}, idx[bestStart:bestStart+w]...)
+}
+
+// commit marks the placement's boards as owned.
+func (g *Grid) commit(p *Placement) {
+	for _, r := range p.Rows {
+		for _, c := range p.Cols {
+			if g.owner[r*g.X+c] != Free {
+				panic(fmt.Sprintf("alloc: committing non-free board (%d,%d)", c, r))
+			}
+			g.owner[r*g.X+c] = p.Job
+		}
+	}
+}
+
+// Validate checks allocator invariants: every placement's boards owned by
+// exactly that job, all rows sharing the same column set.
+func (g *Grid) Validate(placements []*Placement) error {
+	seen := make(map[int]int32)
+	for _, p := range placements {
+		for _, r := range p.Rows {
+			for _, c := range p.Cols {
+				idx := r*g.X + c
+				if g.owner[idx] != p.Job {
+					return fmt.Errorf("alloc: board (%d,%d) owner %d, want job %d", c, r, g.owner[idx], p.Job)
+				}
+				if prev, dup := seen[idx]; dup {
+					return fmt.Errorf("alloc: board (%d,%d) claimed by jobs %d and %d", c, r, prev, p.Job)
+				}
+				seen[idx] = p.Job
+			}
+		}
+	}
+	return nil
+}
+
+// FoldJob folds a 3D virtual topology d1×d2×d3 onto two dimensions as in
+// Fig. 4: the third dimension is sliced and laid out along the second, so
+// the job requests d1 × (d2·d3) boards with consecutive slices adjacent.
+func FoldJob(d1, d2, d3 int) (u, v int) { return d1, d2 * d3 }

@@ -1,0 +1,55 @@
+package alloc
+
+import "sort"
+
+// DefragReport summarizes a defragmentation pass.
+type DefragReport struct {
+	Before, After   float64 // utilization of working boards
+	JobsBefore      int
+	JobsAfter       int
+	BoardsRecovered int
+}
+
+// Defragment performs the checkpoint/restart defragmentation of §IV-A(b):
+// all running jobs are checkpointed (their shapes remembered), the grid is
+// cleared, and the jobs are restarted largest-first with the full
+// heuristic stack, together with any pending jobs that previously failed
+// to place. The paper estimates this takes under a second of network time
+// on a system with ≈10% global bandwidth, so it is worthwhile whenever it
+// recovers boards.
+//
+// pending job shapes are (u, v) requests to try after the restart.
+func (g *Grid) Defragment(placements []*Placement, pending [][2]int, opt Options) ([]*Placement, DefragReport) {
+	rep := DefragReport{Before: g.Utilization(), JobsBefore: len(placements)}
+	type job struct {
+		id   int32
+		u, v int
+	}
+	jobs := make([]job, 0, len(placements)+len(pending))
+	for _, p := range placements {
+		jobs = append(jobs, job{p.Job, p.U(), p.V()})
+	}
+	nextID := int32(0)
+	for _, p := range placements {
+		if p.Job >= nextID {
+			nextID = p.Job + 1
+		}
+	}
+	for _, uv := range pending {
+		jobs = append(jobs, job{nextID, uv[0], uv[1]})
+		nextID++
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].u*jobs[i].v > jobs[j].u*jobs[j].v })
+
+	g.Reset()
+	out := make([]*Placement, 0, len(jobs))
+	for _, j := range jobs {
+		if p, ok := g.Allocate(j.id, j.u, j.v, opt); ok {
+			out = append(out, p)
+		}
+	}
+	rep.After = g.Utilization()
+	rep.JobsAfter = len(out)
+	rep.BoardsRecovered = int((rep.After - rep.Before) * float64(g.WorkingBoards()))
+	return out, rep
+}

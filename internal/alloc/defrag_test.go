@@ -1,0 +1,62 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDefragmentRecoversSpace(t *testing.T) {
+	// Fragment a grid so a large job cannot place, then defragment and
+	// verify it fits.
+	g := NewGrid(8, 8)
+	rng := rand.New(rand.NewSource(11))
+	var placements []*Placement
+	for j := int32(0); j < 24; j++ {
+		if p, ok := g.Allocate(j, 1, 1+rng.Intn(2), Options{}); ok {
+			placements = append(placements, p)
+		}
+	}
+	// Release every other job to create holes.
+	kept := placements[:0]
+	for i, p := range placements {
+		if i%2 == 0 {
+			g.Release(p.Job)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	placements = append([]*Placement{}, kept...)
+	// Defragment with a pending 4x6 job.
+	out, rep := g.Defragment(placements, [][2]int{{4, 6}}, DefaultOptions())
+	if rep.JobsAfter < rep.JobsBefore {
+		t.Errorf("defrag lost jobs: %d -> %d", rep.JobsBefore, rep.JobsAfter)
+	}
+	found := false
+	for _, p := range out {
+		if p.U()*p.V() == 24 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pending 4x6 job not placed after defragmentation")
+	}
+	if err := g.Validate(out); err != nil {
+		t.Error(err)
+	}
+	if rep.After < rep.Before {
+		t.Errorf("utilization fell from %.2f to %.2f", rep.Before, rep.After)
+	}
+}
+
+func TestDefragmentKeepsFailures(t *testing.T) {
+	g := NewGrid(4, 4)
+	g.Fail(0, 0)
+	p, _ := g.Allocate(1, 2, 2, Options{})
+	out, _ := g.Defragment([]*Placement{p}, nil, DefaultOptions())
+	if g.Owner(0, 0) != Failed {
+		t.Error("defragmentation cleared a failure")
+	}
+	if len(out) != 1 {
+		t.Errorf("job count after defrag = %d", len(out))
+	}
+}

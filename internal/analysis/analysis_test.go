@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hammingmesh/internal/topo"
+)
+
+func TestTableIIDiameters(t *testing.T) {
+	// Diameter column of Table II (cable counting).
+	cases := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"small nonblocking fat tree", FatTreeDiameter(1024, topo.NonblockingTree()), 4},
+		{"small 50% fat tree", FatTreeDiameter(1024, topo.TaperedTree(0.5)), 4},
+		{"small 75% fat tree", FatTreeDiameter(1024, topo.TaperedTree(0.75)), 4},
+		{"large nonblocking fat tree", FatTreeDiameter(16384, topo.NonblockingTree()), 6},
+		{"large 50% fat tree", FatTreeDiameter(16384, topo.TaperedTree(0.5)), 6},
+		{"small Hx2Mesh", HxMeshDiameter(2, 2, 16, 16), 4},
+		{"small Hx4Mesh", HxMeshDiameter(4, 4, 8, 8), 8},
+		{"small HyperX (Hx1Mesh)", HxMeshDiameter(1, 1, 32, 32), 4},
+		{"large Hx2Mesh", HxMeshDiameter(2, 2, 64, 64), 8},
+		{"large Hx4Mesh", HxMeshDiameter(4, 4, 32, 32), 8},
+		{"large HyperX (Hx1Mesh)", HxMeshDiameter(1, 1, 128, 128), 8},
+		{"small torus", TorusDiameter(32, 32), 32},
+		{"large torus", TorusDiameter(128, 128), 128},
+		{"large dragonfly", DragonflyDiameter(32, 17, 16, 30), 5},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: diameter = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRelativeBisection(t *testing.T) {
+	if got := HxMeshRelativeBisection(2, 2); got != 0.25 {
+		t.Errorf("Hx2Mesh relative bisection = %f, want 0.25 (1/2a)", got)
+	}
+	if got := HxMeshRelativeBisection(4, 4); got != 0.125 {
+		t.Errorf("Hx4Mesh relative bisection = %f, want 0.125", got)
+	}
+}
+
+func TestAlltoallShares(t *testing.T) {
+	// The analytic bounds should be close to the paper's measured values:
+	// Hx2 ≈ 25%, Hx4 ≈ 10.5–12.5%, tapered fat trees ≈ taper ratio.
+	if got := AlltoallShare(2, 2); got != 0.25 {
+		t.Errorf("Hx2 alltoall share = %f, want 0.25", got)
+	}
+	if got := AlltoallShare(4, 4); got != 0.125 {
+		t.Errorf("Hx4 alltoall share = %f, want 0.125", got)
+	}
+	if got := FatTreeAlltoallShare(topo.NonblockingTree()); got != 1 {
+		t.Errorf("nonblocking share = %f, want 1", got)
+	}
+	got50 := FatTreeAlltoallShare(topo.TaperedTree(0.5))
+	if got50 < 0.45 || got50 > 0.6 {
+		t.Errorf("50%% taper share = %f, want ≈0.52", got50)
+	}
+	got75 := FatTreeAlltoallShare(topo.TaperedTree(0.75))
+	if got75 < 0.2 || got75 > 0.3 {
+		t.Errorf("75%% taper share = %f, want ≈0.25", got75)
+	}
+	if got := TorusAlltoallShare(32, 32); got != 0.0625 {
+		t.Errorf("torus alltoall bound = %f, want 0.0625", got)
+	}
+}
+
+func TestBisectionMatchesGraph(t *testing.T) {
+	// The closed-form relative bisection must equal the graph cut divided
+	// by the half-system injection for square-board HxMeshes.
+	for _, c := range []struct{ a, x, y int }{{1, 8, 8}, {2, 4, 4}, {2, 8, 8}, {4, 4, 4}} {
+		h := topo.NewHxMesh(c.a, c.a, c.x, c.y, topo.DefaultLinkParams())
+		cut := topo.HxMeshBisection(h)
+		injHalf := 4 * c.a * c.a * c.x * c.y / 2 // links of the lower half
+		rel := float64(cut) / float64(injHalf)
+		want := HxMeshRelativeBisection(c.a, c.a)
+		if diff := rel - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Hx%d %dx%d: graph bisection %f != closed form %f", c.a, c.x, c.y, rel, want)
+		}
+	}
+}
+
+func TestDiameterFormulaMonotonic(t *testing.T) {
+	// Property: diameter never decreases when the board grows.
+	f := func(a8, x8 uint8) bool {
+		a := int(a8%4) + 1
+		x := int(x8%30) + 2
+		return HxMeshDiameter(a+1, a+1, x, x) >= HxMeshDiameter(a, a, x, x) &&
+			HxMeshDiameter(a, a, x+1, x+1) >= HxMeshDiameter(a, a, x, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHxMeshSummary(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 16, 16, topo.DefaultLinkParams())
+	s := HxMeshSummary(h)
+	if s.Endpoints != 1024 || s.Diameter != 4 || s.RelBisection != 0.25 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+}

@@ -1,0 +1,160 @@
+package collective
+
+import (
+	"testing"
+
+	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/topo"
+)
+
+func tinyHx() *topo.HxMesh { return topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams()) }
+
+func TestSimulateRingAllreduceBandwidth(t *testing.T) {
+	// A unidirectional ring allreduce on a dedicated torus ring should
+	// approach the single-link bound 1/(2β) = 25 GB/s for large data.
+	n := topo.NewTorus2D(8, 8, 2, 2, topo.DefaultLinkParams())
+	ring := make([]topo.NodeID, 0, 64)
+	r1, _, err := TwoRingsOnTorus(n, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring = r1
+	total := int64(8 << 20)
+	res, err := SimulateRingAllreduce(n, ring, total, false, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := res.BandwidthGBps(total)
+	if bw < 15 || bw > 25.5 {
+		t.Errorf("ring allreduce bw = %.1f GB/s, want ≈25 (≤ 1/(2β))", bw)
+	}
+	if res.Rounds != 2*(len(ring)-1) {
+		t.Errorf("rounds = %d, want %d", res.Rounds, 2*(len(ring)-1))
+	}
+}
+
+func TestSimulateBidirDoublesRing(t *testing.T) {
+	n := topo.NewTorus2D(8, 8, 2, 2, topo.DefaultLinkParams())
+	r1, _, err := TwoRingsOnTorus(n, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(8 << 20)
+	uni, err := SimulateRingAllreduce(n, r1, total, false, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bidir, err := SimulateRingAllreduce(n, r1, total, true, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := uni.TimeNS / bidir.TimeNS
+	if speedup < 1.5 || speedup > 2.5 {
+		t.Errorf("bidirectional speedup = %.2f, want ≈2", speedup)
+	}
+}
+
+func TestSimulateTwoRingsReachesOptimum(t *testing.T) {
+	// Two bidirectional rings on disjoint Hamiltonian cycles use all four
+	// interfaces: algorithm bandwidth approaches inj/2 = 100 GB/s.
+	h := tinyHx()
+	r1, r2, err := TwoRingsOnHxMesh(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(16 << 20)
+	res, err := SimulateTwoRingsAllreduce(h.Network, r1, r2, total, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := res.BandwidthGBps(total)
+	if bw < 55 || bw > 101 {
+		t.Errorf("two-rings allreduce bw = %.1f GB/s, want ≈100 (round-sync bound ≥55)", bw)
+	}
+	// It must clearly beat the single bidirectional ring.
+	single, err := SimulateRingAllreduce(h.Network, r1, total, true, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeNS >= single.TimeNS {
+		t.Errorf("two rings (%.0f ns) not faster than one (%.0f ns)", res.TimeNS, single.TimeNS)
+	}
+}
+
+func TestSimulateTorusAllreduceLatencyAdvantage(t *testing.T) {
+	// For small messages the 2D algorithm's √p rounds beat the rings' p
+	// rounds (Fig. 13 crossover).
+	h := tinyHx()
+	r1, r2, err := TwoRingsOnHxMesh(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := int64(64 << 10)
+	torus, err := SimulateTorusAllreduce(h, small, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings, err := SimulateTwoRingsAllreduce(h.Network, r1, r2, small, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torus.Rounds >= rings.Rounds {
+		t.Errorf("torus rounds %d not below rings rounds %d", torus.Rounds, rings.Rounds)
+	}
+	if torus.TimeNS >= rings.TimeNS {
+		t.Errorf("small msg: torus %.0f ns not faster than rings %.0f ns", torus.TimeNS, rings.TimeNS)
+	}
+}
+
+func TestSimulatedMatchesScheduleModel(t *testing.T) {
+	// The alpha-beta model and the message-level simulation must agree
+	// within a factor of two for the two-rings algorithm at medium size.
+	h := tinyHx()
+	r1, r2, err := TwoRingsOnHxMesh(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(4 << 20)
+	sim, err := SimulateTwoRingsAllreduce(h.Network, r1, r2, total, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := DefaultParams()
+	pr.AlphaNS = 400 // tiny cluster: short paths
+	model := TwoRingsAllreduceTime(len(r1), float64(total), pr)
+	ratio := sim.TimeNS / model
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("simulated %.0f ns vs model %.0f ns (ratio %.2f) disagree >2x", sim.TimeNS, model, ratio)
+	}
+}
+
+func TestSimulateAlltoallSampled(t *testing.T) {
+	h := tinyHx()
+	full, err := SimulateAlltoall(h.Network, 8<<10, 0, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := SimulateAlltoall(h.Network, 8<<10, 9, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rounds != 63 || sampled.Rounds != 9 {
+		t.Fatalf("rounds = %d/%d, want 63/9", full.Rounds, sampled.Rounds)
+	}
+	// The sampled estimate (scaled) should be within 2x of the full run.
+	ratio := sampled.TimeNS / full.TimeNS
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("sampled alltoall time off by %.2fx", ratio)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	h := tinyHx()
+	if _, err := SimulateRingAllreduce(h.Network, h.Endpoints[:2], 1024, false, netsim.DefaultConfig()); err == nil {
+		t.Error("tiny ring not rejected")
+	}
+	r1, r2, _ := TwoRingsOnHxMesh(h)
+	if _, err := SimulateTwoRingsAllreduce(h.Network, r1, r2[:10], 1024, netsim.DefaultConfig()); err == nil {
+		t.Error("mismatched rings not rejected")
+	}
+}

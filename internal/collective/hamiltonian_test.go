@@ -1,0 +1,90 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDisjointRingsFig16Sizes(t *testing.T) {
+	// The paper shows the construction for 4x4, 8x4, 9x3 and 16x8 tori
+	// (Fig. 16).
+	for _, s := range []struct{ r, c int }{{4, 4}, {8, 4}, {9, 3}, {16, 8}} {
+		r1, r2, err := DisjointHamiltonianRings(s.r, s.c)
+		if err != nil {
+			t.Errorf("%dx%d: %v", s.r, s.c, err)
+			continue
+		}
+		if err := VerifyDisjointHamiltonian(r1, r2, s.r, s.c); err != nil {
+			t.Errorf("%dx%d: %v", s.r, s.c, err)
+		}
+	}
+}
+
+func TestDisjointRingsTransposed(t *testing.T) {
+	// 4x8 satisfies the transposed condition (c = r·k).
+	r1, r2, err := DisjointHamiltonianRings(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDisjointHamiltonian(r1, r2, 4, 8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjointRingsSquareAlwaysWork(t *testing.T) {
+	// Any n×n torus with n ≥ 3 satisfies r = c·1 and gcd(n, n−1) = 1, so the
+	// construction must always succeed (HxMesh job grids are often square).
+	for n := 3; n <= 20; n++ {
+		r1, r2, err := DisjointHamiltonianRings(n, n)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", n, n, err)
+		}
+		if err := VerifyDisjointHamiltonian(r1, r2, n, n); err != nil {
+			t.Fatalf("%dx%d: %v", n, n, err)
+		}
+	}
+}
+
+func TestDisjointRingsInvalidSizes(t *testing.T) {
+	for _, s := range []struct{ r, c int }{{3, 5}, {6, 4}, {2, 4}, {5, 3}} {
+		if _, _, err := DisjointHamiltonianRings(s.r, s.c); err == nil {
+			t.Errorf("%dx%d: expected error", s.r, s.c)
+		}
+	}
+}
+
+func TestDisjointRingsQuick(t *testing.T) {
+	// Property: whenever the construction succeeds it yields verified
+	// edge-disjoint Hamiltonian cycles.
+	f := func(k8, c8 uint8) bool {
+		c := int(c8%10) + 3
+		k := int(k8%3) + 1
+		r := c * k
+		r1, r2, err := DisjointHamiltonianRings(r, c)
+		if err != nil {
+			// Only acceptable failure: condition gcd(r, c-1) != 1.
+			return gcd(r, c-1) != 1
+		}
+		return VerifyDisjointHamiltonian(r1, r2, r, c) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCatchesBadRings(t *testing.T) {
+	r1, r2, err := DisjointHamiltonianRings(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate a node.
+	bad := append([]Coord{}, r1...)
+	bad[3] = bad[2]
+	if err := VerifyDisjointHamiltonian(bad, r2, 4, 4); err == nil {
+		t.Error("duplicate node not detected")
+	}
+	// Same ring twice shares every edge.
+	if err := VerifyDisjointHamiltonian(r1, r1, 4, 4); err == nil {
+		t.Error("shared edges not detected")
+	}
+}

@@ -1,0 +1,49 @@
+package collective
+
+import "math"
+
+// Additional collectives (§V-A2d: "Broadcast and other collectives can be
+// implemented similarly [to the allreduce] and follow similar tradeoffs").
+// All models share the Params alpha-beta convention.
+
+// BroadcastTime is a pipelined ring broadcast: the root streams segments
+// around the ring(s), p−1 rounds, each byte traversing each link once —
+// one epoch of the allreduce: T ≈ pα + Sβ/NICs, with the data split over
+// the disjoint rings and directions when multiple interfaces exist.
+func BroadcastTime(p int, bytes float64, pr Params) float64 {
+	n := float64(pr.NICs)
+	if n < 1 {
+		n = 1
+	}
+	return float64(p)*pr.AlphaNS + bytes*pr.BetaNSPerByte/n
+}
+
+// ReduceScatterTime is the first epoch of the ring allreduce: p−1 rounds,
+// each node ends with one fully reduced segment: T ≈ pα + Sβ/NICs.
+func ReduceScatterTime(p int, bytes float64, pr Params) float64 {
+	n := float64(pr.NICs)
+	if n < 1 {
+		n = 1
+	}
+	return float64(p)*pr.AlphaNS + bytes*pr.BetaNSPerByte/n
+}
+
+// AllgatherTime mirrors ReduceScatterTime (the second epoch).
+func AllgatherTime(p int, bytes float64, pr Params) float64 {
+	return ReduceScatterTime(p, bytes, pr)
+}
+
+// BarrierTime is a dissemination barrier: ⌈log2 p⌉ rounds of α.
+func BarrierTime(p int, pr Params) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p))) * pr.AlphaNS
+}
+
+// PipelineStageTime is the per-microbatch nearest-neighbor transfer of
+// pipeline parallelism (Fig. 14): volume over one interface plus a round
+// latency; fully overlappable with compute in steady state.
+func PipelineStageTime(bytes float64, pr Params) float64 {
+	return pr.AlphaNS + bytes*pr.BetaNSPerByte
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hammingmesh/internal/topo"
+)
+
+// ClusterSize selects one of the paper's two design points (§III-D) or a
+// scaled-down variant for fast local simulation.
+type ClusterSize string
+
+const (
+	// Tiny is a scaled-down configuration (~64 accelerators) for fast
+	// packet-level simulation on a laptop.
+	Tiny ClusterSize = "tiny"
+	// Small is the paper's ≈1k-accelerator cluster.
+	Small ClusterSize = "small"
+	// Large is the paper's ≈16k-accelerator cluster.
+	Large ClusterSize = "large"
+)
+
+// TopologyNames lists the Table II topologies in row order.
+func TopologyNames() []string {
+	return []string{"fattree", "fattree50", "fattree75", "dragonfly", "hyperx", "hx2mesh", "hx4mesh", "torus"}
+}
+
+// NewByName builds one of the Table II topologies at the given size.
+func NewByName(name string, size ClusterSize) (*Cluster, error) {
+	type cfg struct{ tiny, small, large func() *Cluster }
+	reg := map[string]cfg{
+		"fattree": {
+			tiny:  func() *Cluster { return NewFatTree(64, 0) },
+			small: func() *Cluster { return NewFatTree(1024, 0) },
+			large: func() *Cluster { return NewFatTree(16384, 0) },
+		},
+		"fattree50": {
+			tiny:  func() *Cluster { return NewFatTree(64, 0.5) },
+			small: func() *Cluster { return NewFatTree(1024, 0.5) },
+			large: func() *Cluster { return NewFatTree(16384, 0.5) },
+		},
+		"fattree75": {
+			tiny:  func() *Cluster { return NewFatTree(64, 0.75) },
+			small: func() *Cluster { return NewFatTree(1024, 0.75) },
+			large: func() *Cluster { return NewFatTree(16384, 0.75) },
+		},
+		"dragonfly": {
+			tiny: func() *Cluster {
+				return NewDragonfly(topo.DragonflyConfig{A: 4, P: 2, H: 2, G: 8})
+			},
+			small: func() *Cluster { return NewDragonfly(topo.SmallDragonfly(topo.DefaultLinkParams())) },
+			large: func() *Cluster { return NewDragonfly(topo.LargeDragonfly(topo.DefaultLinkParams())) },
+		},
+		"hyperx": {
+			tiny:  func() *Cluster { return NewHyperX(8, 8) },
+			small: func() *Cluster { return NewHyperX(32, 32) },
+			large: func() *Cluster { return NewHyperX(128, 128) },
+		},
+		"hx2mesh": {
+			tiny:  func() *Cluster { return NewHxMesh(2, 2, 4, 4) },
+			small: func() *Cluster { return NewHxMesh(2, 2, 16, 16) },
+			large: func() *Cluster { return NewHxMesh(2, 2, 64, 64) },
+		},
+		"hx4mesh": {
+			tiny:  func() *Cluster { return NewHxMesh(4, 4, 2, 2) },
+			small: func() *Cluster { return NewHxMesh(4, 4, 8, 8) },
+			large: func() *Cluster { return NewHxMesh(4, 4, 32, 32) },
+		},
+		"torus": {
+			tiny:  func() *Cluster { return NewTorus(8, 8) },
+			small: func() *Cluster { return NewTorus(32, 32) },
+			large: func() *Cluster { return NewTorus(128, 128) },
+		},
+	}
+	c, ok := reg[name]
+	if !ok {
+		names := make([]string, 0, len(reg))
+		for k := range reg {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("core: unknown topology %q (choose from %v)", name, names)
+	}
+	switch size {
+	case Tiny:
+		return c.tiny(), nil
+	case Small:
+		return c.small(), nil
+	case Large:
+		return c.large(), nil
+	}
+	return nil, fmt.Errorf("core: unknown size %q (tiny|small|large)", size)
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestRegistryTinyBuildsAll(t *testing.T) {
+	for _, name := range TopologyNames() {
+		c, err := NewByName(name, Tiny)
+		if err != nil {
+			t.Errorf("%s tiny: %v", name, err)
+			continue
+		}
+		if err := c.Net.Validate(); err != nil {
+			t.Errorf("%s tiny: %v", name, err)
+		}
+		if c.Net.NumEndpoints() < 32 {
+			t.Errorf("%s tiny has only %d endpoints", name, c.Net.NumEndpoints())
+		}
+	}
+}
+
+func TestRegistrySmallEndpointCounts(t *testing.T) {
+	want := map[string]int{
+		"fattree": 1024, "fattree50": 1024, "fattree75": 1024,
+		"dragonfly": 1024, "hyperx": 1024, "hx2mesh": 1024, "hx4mesh": 1024, "torus": 1024,
+	}
+	for name, n := range want {
+		c, err := NewByName(name, Small)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := c.Net.NumEndpoints(); got != n {
+			t.Errorf("%s small endpoints = %d, want %d", name, got, n)
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := NewByName("nope", Small); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := NewByName("hx2mesh", "gigantic"); err == nil {
+		t.Error("unknown size accepted")
+	}
+}
+
+func TestRegistryLargeCountsNoBuildExplosion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large builds in -short mode")
+	}
+	// Large builds must construct and validate (16,384 endpoints).
+	for _, name := range []string{"hx4mesh", "torus"} {
+		c, err := NewByName(name, Large)
+		if err != nil {
+			t.Fatalf("%s large: %v", name, err)
+		}
+		if got := c.Net.NumEndpoints(); got != 16384 {
+			t.Errorf("%s large endpoints = %d", name, got)
+		}
+		if err := c.Net.Validate(); err != nil {
+			t.Errorf("%s large: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package cost implements the paper's capital-expenditure model (§III-C,
+// Appendix C and E): 64-port switches at $14,280, 5 m DAC copper cables at
+// $272 and 20 m active optical cables (AoC) at $603 (Colfaxdirect, April
+// 2022). PCB traces and endpoint NICs are part of the accelerator package
+// and free. The per-topology inventories reproduce the cable and switch
+// counts of Appendix C, and therefore the cost column of Table II.
+package cost
+
+import (
+	"fmt"
+
+	"hammingmesh/internal/topo"
+)
+
+// Prices are unit prices in USD.
+type Prices struct {
+	SwitchUSD float64
+	DACUSD    float64
+	AoCUSD    float64
+}
+
+// PaperPrices are the Colfaxdirect prices used throughout the paper.
+func PaperPrices() Prices { return Prices{SwitchUSD: 14280, DACUSD: 272, AoCUSD: 603} }
+
+// Inventory is the network equipment of one topology (per plane, with the
+// plane count the paper charges: 16 one-port planes for fat tree and
+// Dragonfly endpoints, 4 four-port planes for HxMesh and torus).
+type Inventory struct {
+	Name             string
+	Endpoints        int
+	SwitchesPerPlane int
+	DACPerPlane      int
+	AoCPerPlane      int
+	Planes           int
+}
+
+// Cost is the total capital expenditure in USD.
+func (inv Inventory) Cost(p Prices) float64 {
+	perPlane := float64(inv.SwitchesPerPlane)*p.SwitchUSD +
+		float64(inv.DACPerPlane)*p.DACUSD +
+		float64(inv.AoCPerPlane)*p.AoCUSD
+	return perPlane * float64(inv.Planes)
+}
+
+// CostMUSD is the cost in millions of USD (the Table II unit).
+func (inv Inventory) CostMUSD(p Prices) float64 { return inv.Cost(p) / 1e6 }
+
+// SmallCluster returns the Appendix C inventories for the ≈1k-accelerator
+// cluster, in Table II row order.
+func SmallCluster() []Inventory {
+	return []Inventory{
+		{Name: "nonblocking fat tree", Endpoints: 1024, SwitchesPerPlane: 48, DACPerPlane: 1024, AoCPerPlane: 1024, Planes: 16},
+		{Name: "50% tapered fat tree", Endpoints: 1050, SwitchesPerPlane: 34, DACPerPlane: 1050, AoCPerPlane: 550, Planes: 16},
+		{Name: "75% tapered fat tree", Endpoints: 1071, SwitchesPerPlane: 26, DACPerPlane: 1071, AoCPerPlane: 273, Planes: 16},
+		{Name: "dragonfly", Endpoints: 1024, SwitchesPerPlane: 64, DACPerPlane: 1920, AoCPerPlane: 512, Planes: 16},
+		{Name: "2D hyperx", Endpoints: 1024, SwitchesPerPlane: 64, DACPerPlane: 2048, AoCPerPlane: 2048, Planes: 4},
+		{Name: "hx2mesh", Endpoints: 1024, SwitchesPerPlane: 32, DACPerPlane: 1024, AoCPerPlane: 1024, Planes: 4},
+		{Name: "hx4mesh", Endpoints: 1024, SwitchesPerPlane: 16, DACPerPlane: 512, AoCPerPlane: 512, Planes: 4},
+		// Table II prices the torus' 1,024 inter-board cables per plane at
+		// the AoC rate (matching its $2.5M/$39.5M totals), although the
+		// Appendix text calls them DAC; we follow the table.
+		{Name: "2D torus", Endpoints: 1024, SwitchesPerPlane: 0, DACPerPlane: 0, AoCPerPlane: 1024, Planes: 4},
+	}
+}
+
+// LargeCluster returns the Appendix C inventories for the ≈16k-accelerator
+// cluster. The tapered fat-tree per-plane switch counts are derived from
+// the Table II totals (the Appendix's "794" and "8,304" figures mix per-
+// plane and all-plane accounting).
+func LargeCluster() []Inventory {
+	return []Inventory{
+		{Name: "nonblocking fat tree", Endpoints: 16384, SwitchesPerPlane: 1280, DACPerPlane: 16384, AoCPerPlane: 32768, Planes: 16},
+		{Name: "50% tapered fat tree", Endpoints: 16380, SwitchesPerPlane: 794, DACPerPlane: 16380, AoCPerPlane: 17160, Planes: 16},
+		{Name: "75% tapered fat tree", Endpoints: 16422, SwitchesPerPlane: 519, DACPerPlane: 16422, AoCPerPlane: 8372, Planes: 16},
+		{Name: "dragonfly", Endpoints: 16320, SwitchesPerPlane: 960, DACPerPlane: 31200, AoCPerPlane: 7680, Planes: 16},
+		{Name: "2D hyperx", Endpoints: 16384, SwitchesPerPlane: 3072, DACPerPlane: 32768, AoCPerPlane: 98304, Planes: 4},
+		{Name: "hx2mesh", Endpoints: 16384, SwitchesPerPlane: 1536, DACPerPlane: 16384, AoCPerPlane: 49152, Planes: 4},
+		{Name: "hx4mesh", Endpoints: 16384, SwitchesPerPlane: 256, DACPerPlane: 8192, AoCPerPlane: 8192, Planes: 4},
+		{Name: "2D torus", Endpoints: 16384, SwitchesPerPlane: 0, DACPerPlane: 0, AoCPerPlane: 16384, Planes: 4},
+	}
+}
+
+// TableIICostMUSD are the paper's published cost figures (M$), for
+// verification.
+var TableIICostMUSD = map[string][2]float64{ // name -> {small, large}
+	"nonblocking fat tree": {25.3, 680},
+	"50% tapered fat tree": {17.6, 419},
+	"75% tapered fat tree": {13.2, 271},
+	"dragonfly":            {27.9, 429},
+	"2D hyperx":            {10.8, 448},
+	"hx2mesh":              {5.4, 224},
+	"hx4mesh":              {2.7, 43.3},
+	"2D torus":             {2.5, 39.5},
+}
+
+// FromNetwork derives an inventory from a built single-plane graph, using
+// the plane count recorded in the network metadata. The torus inter-board
+// cables are priced as AoC to match Table II (see SmallCluster).
+func FromNetwork(n *topo.Network) Inventory {
+	cables := n.CableCount()
+	inv := Inventory{
+		Name:             n.Name,
+		Endpoints:        n.NumEndpoints(),
+		SwitchesPerPlane: n.NumSwitches(),
+		DACPerPlane:      cables[topo.DAC],
+		AoCPerPlane:      cables[topo.AoC],
+		Planes:           n.Meta.Planes,
+	}
+	if n.Meta.Family == "torus" {
+		inv.AoCPerPlane += inv.DACPerPlane
+		inv.DACPerPlane = 0
+	}
+	if inv.Planes == 0 {
+		inv.Planes = 1
+	}
+	return inv
+}
+
+// SavingVersus is the cost ratio other/this: how many times cheaper this
+// inventory is (>1 means cheaper than other).
+func SavingVersus(this, other Inventory, p Prices) float64 {
+	c := this.Cost(p)
+	if c <= 0 {
+		return 0
+	}
+	return other.Cost(p) / c
+}
+
+// PerBandwidthSaving computes the Table II "saving" columns: the ratio of
+// cost-per-bandwidth of a reference topology to this one. bwThis and bwRef
+// are the respective bandwidths (any common unit).
+func PerBandwidthSaving(this Inventory, bwThis float64, ref Inventory, bwRef float64, p Prices) (float64, error) {
+	if bwThis <= 0 || bwRef <= 0 {
+		return 0, fmt.Errorf("cost: bandwidths must be positive")
+	}
+	cpbThis := this.Cost(p) / bwThis
+	cpbRef := ref.Cost(p) / bwRef
+	return cpbRef / cpbThis, nil
+}

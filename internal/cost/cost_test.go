@@ -1,0 +1,102 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hammingmesh/internal/topo"
+)
+
+func TestTableIICostsSmall(t *testing.T) {
+	p := PaperPrices()
+	for _, inv := range SmallCluster() {
+		want := TableIICostMUSD[inv.Name][0]
+		got := inv.CostMUSD(p)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("%s small: %.2f M$, want %.1f M$ (Table II)", inv.Name, got, want)
+		}
+	}
+}
+
+func TestTableIICostsLarge(t *testing.T) {
+	p := PaperPrices()
+	for _, inv := range LargeCluster() {
+		want := TableIICostMUSD[inv.Name][1]
+		got := inv.CostMUSD(p)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("%s large: %.2f M$, want %.1f M$ (Table II)", inv.Name, got, want)
+		}
+	}
+}
+
+func TestGraphInventoryMatchesAppendixHxMesh(t *testing.T) {
+	// The graph-derived inventory of the built HxMeshes must equal the
+	// hardcoded Appendix C inventory.
+	lp := topo.DefaultLinkParams()
+	cases := []struct {
+		name    string
+		build   *topo.Network
+		tblName string
+		small   bool
+	}{
+		{"hx2 small", topo.NewHxMesh(2, 2, 16, 16, lp).Network, "hx2mesh", true},
+		{"hx4 small", topo.NewHxMesh(4, 4, 8, 8, lp).Network, "hx4mesh", true},
+		{"hyperx small", topo.NewHyperX2D(32, 32, lp).Network, "2D hyperx", true},
+	}
+	table := SmallCluster()
+	byName := map[string]Inventory{}
+	for _, inv := range table {
+		byName[inv.Name] = inv
+	}
+	for _, c := range cases {
+		got := FromNetwork(c.build)
+		want := byName[c.tblName]
+		if got.SwitchesPerPlane != want.SwitchesPerPlane ||
+			got.DACPerPlane != want.DACPerPlane ||
+			got.AoCPerPlane != want.AoCPerPlane {
+			t.Errorf("%s: graph inventory %+v != appendix %+v", c.name, got, want)
+		}
+	}
+}
+
+func TestGraphInventoryTorusPricedAsTable(t *testing.T) {
+	lp := topo.DefaultLinkParams()
+	n := topo.NewTorus2D(32, 32, 2, 2, lp)
+	inv := FromNetwork(n)
+	if inv.DACPerPlane != 0 || inv.AoCPerPlane != 1024 {
+		t.Errorf("torus inventory %+v, want 1024 AoC (Table II pricing)", inv)
+	}
+	got := inv.CostMUSD(PaperPrices())
+	if math.Abs(got-2.47) > 0.1 {
+		t.Errorf("torus cost %.2f M$, want ≈2.5", got)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	p := PaperPrices()
+	small := SmallCluster()
+	var ft, hx4 Inventory
+	for _, inv := range small {
+		switch inv.Name {
+		case "nonblocking fat tree":
+			ft = inv
+		case "hx4mesh":
+			hx4 = inv
+		}
+	}
+	// Table II: allreduce saving of Hx4Mesh ≈ 9.3x vs nonblocking fat tree
+	// (98.4% vs 98.9% of peak).
+	s, err := PerBandwidthSaving(hx4, 0.984, ft, 0.989, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 8.5 || s > 10.5 {
+		t.Errorf("Hx4 allreduce saving = %.1f, want ≈9.3", s)
+	}
+	if sv := SavingVersus(hx4, ft, p); sv < 9 || sv > 10 {
+		t.Errorf("raw cost saving = %.1f, want ≈9.4", sv)
+	}
+	if _, err := PerBandwidthSaving(hx4, 0, ft, 1, p); err == nil {
+		t.Error("zero bandwidth not rejected")
+	}
+}

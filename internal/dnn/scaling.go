@@ -1,0 +1,43 @@
+package dnn
+
+// ResNetAtScale returns the ResNet-152 data-parallel configuration at
+// degree D (the paper simulates D ∈ {256, 512, 1024}, §V-B2). The
+// minibatch (32,768) is fixed, so per-accelerator compute shrinks with D
+// while the allreduce volume (gradient size) stays constant — which is why
+// larger D has relatively more communication.
+func ResNetAtScale(d int) Model {
+	base := Models()[0]
+	m := base
+	m.D = d
+	// Compute scales inversely with D from the 1,024-accelerator
+	// measurement (108 ms); communication volume is unchanged.
+	m.ComputeMS = 108 * 1024 / float64(d)
+	m.Phases = append([]Phase{}, base.Phases...)
+	return m
+}
+
+// GPT3AtOperatorScale varies the Megatron operator parallelism O while
+// keeping P=96: the per-accelerator operator allreduce volume stays the
+// layer activation size, but the ring spans O accelerators.
+func GPT3AtOperatorScale(o int) Model {
+	var base Model
+	for _, m := range Models() {
+		if m.Name == "GPT-3" {
+			base = m
+		}
+	}
+	m := base
+	m.O = o
+	m.Phases = append([]Phase{}, base.Phases...)
+	return m
+}
+
+// WeakScalingSweep returns modeled iteration times for a model family
+// across data-parallel degrees on one topology.
+func WeakScalingSweep(degrees []int, np NetPerf) map[int]float64 {
+	out := make(map[int]float64, len(degrees))
+	for _, d := range degrees {
+		out[d] = IterationMS(ResNetAtScale(d), np)
+	}
+	return out
+}

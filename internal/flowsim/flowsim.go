@@ -1,0 +1,282 @@
+// Package flowsim is a flow-level max-min fair throughput solver. Where
+// internal/netsim simulates individual packets, flowsim computes the
+// steady-state rate allocation of long-lived flows by water-filling: every
+// flow is split over k sampled shortest paths (approximating packet-level
+// adaptive routing), and rates rise uniformly until links saturate, the
+// classic progressive-filling algorithm for max-min fairness.
+//
+// The solver scales to the paper's 16k-endpoint clusters where packet
+// simulation of 1 MiB-per-peer alltoall would need billions of packet
+// events (the paper itself spent 0.6M core hours in SST); cross-validation
+// against netsim at small scale lives in the tests.
+package flowsim
+
+import (
+	"fmt"
+	"math"
+
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/topo"
+)
+
+// Flow is one steady flow between endpoints.
+type Flow struct {
+	Src, Dst topo.NodeID
+}
+
+// Config controls path sampling.
+type Config struct {
+	// PathsPerFlow is the number of sampled shortest paths a flow's
+	// traffic is spread over (ECMP-style). Zero means 4.
+	PathsPerFlow int
+	// ValiantPaths adds that many non-minimal subflows per flow, each via
+	// a random intermediate switch (UGAL-style load balancing; the paper
+	// runs UGAL-L on Dragonfly, where minimal-only routing collapses
+	// under shifted traffic).
+	ValiantPaths int
+	// Seed offsets path sampling.
+	Seed uint64
+}
+
+// Solver holds per-network state reusable across Solve calls.
+type Solver struct {
+	net   *topo.Network
+	table *routing.Table
+	cfg   Config
+
+	// adjacency: ports[u] lists (portIdx, to) pairs; chanIdx as in netsim.
+	chanCap   []float64
+	chanOf    [][]int32
+	parallel  map[int64][]int32 // key u<<32|v -> channel ids (parallel links)
+	rr        map[int64]int     // round-robin cursor per node pair
+	switchIdx []topo.NodeID     // cached switch ids for Valiant midpoints
+}
+
+// New creates a solver; table may be nil.
+func New(n *topo.Network, table *routing.Table, cfg Config) *Solver {
+	if table == nil {
+		table = routing.NewTable(n)
+	}
+	if cfg.PathsPerFlow <= 0 {
+		cfg.PathsPerFlow = 4
+	}
+	s := &Solver{net: n, table: table, cfg: cfg,
+		parallel: make(map[int64][]int32), rr: make(map[int64]int)}
+	s.chanOf = make([][]int32, len(n.Nodes))
+	for i := range n.Nodes {
+		ports := n.Nodes[i].Ports
+		s.chanOf[i] = make([]int32, len(ports))
+		for pi, p := range ports {
+			ci := int32(len(s.chanCap))
+			s.chanOf[i][pi] = ci
+			s.chanCap = append(s.chanCap, p.GBps)
+			key := int64(i)<<32 | int64(p.To)
+			s.parallel[key] = append(s.parallel[key], ci)
+		}
+	}
+	return s
+}
+
+// Solve returns the max-min fair rate (GB/s) of each flow.
+func (s *Solver) Solve(flows []Flow) ([]float64, error) {
+	type subflow struct {
+		flow  int32
+		links []int32
+	}
+	var subs []subflow
+	addPath := func(fi int, path []topo.NodeID, seen map[string]bool) {
+		key := fmt.Sprint(path)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		links := make([]int32, 0, len(path)-1)
+		for i := 0; i+1 < len(path); i++ {
+			links = append(links, s.pickChannel(path[i], path[i+1]))
+		}
+		subs = append(subs, subflow{flow: int32(fi), links: links})
+	}
+	for fi, f := range flows {
+		if f.Src == f.Dst {
+			return nil, fmt.Errorf("flowsim: flow %d is a self-flow", fi)
+		}
+		seen := map[string]bool{}
+		for k := 0; k < s.cfg.PathsPerFlow; k++ {
+			addPath(fi, s.table.SamplePath(f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919), seen)
+		}
+		for k := 0; k < s.cfg.ValiantPaths; k++ {
+			mid := s.randomSwitch(s.cfg.Seed + uint64(fi)*977 + uint64(k)*31337)
+			if mid < 0 || mid == f.Src || mid == f.Dst {
+				continue
+			}
+			head := s.table.SamplePath(f.Src, mid, s.cfg.Seed+uint64(fi)*13+uint64(k))
+			tail := s.table.SamplePath(mid, f.Dst, s.cfg.Seed+uint64(fi)*17+uint64(k))
+			if len(head) == 0 || len(tail) == 0 {
+				continue
+			}
+			path := append(append([]topo.NodeID{}, head...), tail[1:]...)
+			addPath(fi, path, seen)
+		}
+	}
+	// Progressive filling.
+	nSubsPerFlow := make([]float64, len(flows))
+	for _, sf := range subs {
+		nSubsPerFlow[sf.flow]++
+	}
+	remCap := make([]float64, len(s.chanCap))
+	copy(remCap, s.chanCap)
+	active := make([]bool, len(subs))
+	activeOnLink := make([]int32, len(s.chanCap))
+	for i := range subs {
+		active[i] = true
+		for _, l := range subs[i].links {
+			activeOnLink[l]++
+		}
+	}
+	rates := make([]float64, len(subs))
+	nActive := len(subs)
+	for iter := 0; nActive > 0; iter++ {
+		if iter > len(s.chanCap)+len(subs)+10 {
+			return nil, fmt.Errorf("flowsim: water-filling did not converge")
+		}
+		// Smallest headroom per active subflow across loaded links.
+		delta := math.Inf(1)
+		for l := range remCap {
+			if activeOnLink[l] > 0 {
+				if h := remCap[l] / float64(activeOnLink[l]); h < delta {
+					delta = h
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break
+		}
+		// Raise all active subflows by delta; freeze those on saturated links.
+		for i := range subs {
+			if !active[i] {
+				continue
+			}
+			rates[i] += delta
+			for _, l := range subs[i].links {
+				remCap[l] -= delta
+			}
+		}
+		const eps = 1e-9
+		for i := range subs {
+			if !active[i] {
+				continue
+			}
+			for _, l := range subs[i].links {
+				if remCap[l] <= eps {
+					active[i] = false
+					break
+				}
+			}
+			if !active[i] {
+				for _, l := range subs[i].links {
+					activeOnLink[l]--
+				}
+				nActive--
+			}
+		}
+	}
+	out := make([]float64, len(flows))
+	for i, sf := range subs {
+		out[sf.flow] += rates[i]
+	}
+	return out, nil
+}
+
+// randomSwitch picks a deterministic pseudo-random switch node.
+func (s *Solver) randomSwitch(seed uint64) topo.NodeID {
+	if s.switchIdx == nil {
+		for i := range s.net.Nodes {
+			if s.net.Nodes[i].Kind == topo.Switch {
+				s.switchIdx = append(s.switchIdx, topo.NodeID(i))
+			}
+		}
+	}
+	if len(s.switchIdx) == 0 {
+		return topo.None
+	}
+	seed = seed*6364136223846793005 + 1442695040888963407
+	return s.switchIdx[int(seed>>33)%len(s.switchIdx)]
+}
+
+// pickChannel chooses among parallel links between u and v round-robin.
+func (s *Solver) pickChannel(u, v topo.NodeID) int32 {
+	key := int64(u)<<32 | int64(v)
+	chans := s.parallel[key]
+	if len(chans) == 0 {
+		panic(fmt.Sprintf("flowsim: no link %d->%d", u, v))
+	}
+	c := chans[s.rr[key]%len(chans)]
+	s.rr[key]++
+	return c
+}
+
+// ShiftFlows mirrors netsim.ShiftFlows for the solver.
+func ShiftFlows(endpoints []topo.NodeID, shift int) []Flow {
+	p := len(endpoints)
+	shift = ((shift % p) + p) % p
+	if shift == 0 {
+		return nil
+	}
+	flows := make([]Flow, 0, p)
+	for j := 0; j < p; j++ {
+		flows = append(flows, Flow{Src: endpoints[j], Dst: endpoints[(j+shift)%p]})
+	}
+	return flows
+}
+
+// AlltoallShare estimates the alltoall bandwidth share of the injection
+// bandwidth over sampled shift permutations. The paper's balanced-shift
+// implementation runs without barriers between iterations, so a process
+// that finishes one shift early starts the next; the sustained
+// per-endpoint bandwidth is therefore the harmonic mean across shifts of
+// each shift's *mean* max-min flow rate (not its slowest flow).
+func (s *Solver) AlltoallShare(nShifts int, injectGBps float64, seed uint64) (float64, error) {
+	p := len(s.net.Endpoints)
+	if p < 2 {
+		return 0, fmt.Errorf("flowsim: need ≥2 endpoints")
+	}
+	if nShifts <= 0 || nShifts > p-1 {
+		nShifts = p - 1
+	}
+	sumInvRate := 0.0
+	rng := seed | 1
+	for k := 0; k < nShifts; k++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		shift := 1 + int(rng>>33)%(p-1)
+		rates, err := s.Solve(ShiftFlows(s.net.Endpoints, shift))
+		if err != nil {
+			return 0, err
+		}
+		mean := 0.0
+		for _, r := range rates {
+			mean += r
+		}
+		mean /= float64(len(rates))
+		if mean <= 0 {
+			return 0, fmt.Errorf("flowsim: zero-rate shift")
+		}
+		sumInvRate += 1 / mean
+	}
+	// Harmonic mean over iterations = effective sustained bandwidth.
+	eff := float64(nShifts) / sumInvRate
+	return eff / injectGBps, nil
+}
+
+// PermutationRates solves one random permutation and returns per-flow
+// rates (GB/s); used for the Fig. 12 bandwidth distribution.
+func (s *Solver) PermutationRates(perm []int) ([]float64, error) {
+	eps := s.net.Endpoints
+	flows := make([]Flow, 0, len(perm))
+	for i, j := range perm {
+		if i == j {
+			return nil, fmt.Errorf("flowsim: permutation has fixed point %d", i)
+		}
+		flows = append(flows, Flow{Src: eps[i], Dst: eps[j]})
+	}
+	return s.Solve(flows)
+}

@@ -1,0 +1,444 @@
+// Package netsim is a discrete-event packet-level network simulator, the
+// repository's substitute for the Structural Simulation Toolkit (SST) used
+// by the paper. It simulates individual packets through the switch graph
+// built by internal/topo with the Appendix F parameters: 8 KiB packets,
+// 400 Gb/s links (50 GB/s = 50 B/ns), 20 ns cable / 1 ns PCB latency, and
+// per-hop input/output buffering latency.
+//
+// Two flow-control modes are supported: IdealBuffers (unbounded switch
+// queues, trivially deadlock-free; congestion still forms through link
+// serialization) and CreditFC (finite switch input buffers with
+// backpressure and the paper's virtual-channel escalation policy,
+// §IV-C3; endpoint NICs are treated as amply buffered). Routing is
+// minimal adaptive: among the shortest-path candidate output ports the
+// node picks the least-queued one (selectable for ablation studies).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/topo"
+)
+
+// Mode selects the flow-control model.
+type Mode uint8
+
+const (
+	// IdealBuffers uses unbounded switch queues (no backpressure).
+	IdealBuffers Mode = iota
+	// CreditFC bounds per-switch input buffers and applies backpressure
+	// with virtual-channel escalation at board-to-network hops.
+	CreditFC
+)
+
+// Choice selects how a node picks among minimal candidate output ports.
+type Choice uint8
+
+const (
+	// LeastQueued picks the candidate with the smallest queued byte count
+	// (packet-level adaptive routing, the paper's default).
+	LeastQueued Choice = iota
+	// RandomCandidate picks uniformly at random (oblivious spraying).
+	RandomCandidate
+	// FirstCandidate always picks the first candidate (deterministic
+	// routing; ablation baseline).
+	FirstCandidate
+)
+
+// Config controls a simulation run.
+type Config struct {
+	LP     topo.LinkParams
+	Mode   Mode
+	Choice Choice
+	// Window is the number of outstanding packets per flow (source-side
+	// injection control). Zero means 16.
+	Window int
+	Seed   int64
+	// MaxEvents aborts runaway simulations. Zero means 500 million.
+	MaxEvents int64
+	// UGAL enables non-minimal adaptive routing (see UGALConfig).
+	UGAL UGALConfig
+	// CollectLinkStats records per-channel delivered bytes in the result.
+	CollectLinkStats bool
+}
+
+// DefaultConfig returns the paper-equivalent configuration.
+func DefaultConfig() Config {
+	return Config{LP: topo.DefaultLinkParams(), Mode: IdealBuffers, Choice: LeastQueued, Window: 16, Seed: 1}
+}
+
+// Flow is one unidirectional transfer.
+type Flow struct {
+	Src, Dst topo.NodeID
+	Bytes    int64
+	Start    float64 // injection time in ns
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Makespan is the time of the last delivery, in ns (flows start at
+	// their Start times, typically 0).
+	Makespan float64
+	// TotalBytes delivered.
+	TotalBytes int64
+	// FlowFinish[i] is the delivery time of the last packet of flow i.
+	FlowFinish []float64
+	// PerEndpointRecv maps endpoint node id -> received bytes.
+	PerEndpointRecv map[topo.NodeID]int64
+	// Deadlocked is set when CreditFC stalls with packets undelivered.
+	Deadlocked bool
+	// Events is the number of processed simulator events.
+	Events int64
+	// LinkBytes[i] is the byte count serialized by channel i (only when
+	// Config.CollectLinkStats is set); use Sim.ChannelInfo to decode i.
+	LinkBytes []int64
+}
+
+// AggregateGBps is total delivered bytes over the makespan (GB/s).
+func (r *Result) AggregateGBps() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.TotalBytes) / r.Makespan // bytes/ns == GB/s
+}
+
+// PerEndpointGBps returns delivered bandwidth per receiving endpoint over
+// the makespan.
+func (r *Result) PerEndpointGBps() map[topo.NodeID]float64 {
+	out := make(map[topo.NodeID]float64, len(r.PerEndpointRecv))
+	for id, b := range r.PerEndpointRecv {
+		out[id] = float64(b) / r.Makespan
+	}
+	return out
+}
+
+type eventKind uint8
+
+const (
+	evArrive eventKind = iota // packet finished traversing a link (or was injected)
+	evFree                    // channel finished serializing a packet
+)
+
+type packet struct {
+	flow  int32
+	size  int32
+	vc    int8 // virtual channel for the next hop (CreditFC)
+	relVC int8 // VC under which this packet holds its current input buffer; -1 none
+	ugal  ugalState
+}
+
+type event struct {
+	t    float64
+	kind eventKind
+	node int32 // evArrive: node receiving the packet
+	ch   int32 // evFree: channel index; evArrive: -1 when injected at source
+	pkt  packet
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// channel is one direction of a link.
+type channel struct {
+	from, to int32
+	gbps     float64
+	latency  float64
+	busy     bool
+	blocked  bool // waiting for downstream buffer space (CreditFC)
+	queue    []packet
+	queuedB  int64
+}
+
+// Sim is a single simulation instance. It is not safe for concurrent use.
+type Sim struct {
+	net   *topo.Network
+	table *routing.Table
+	cfg   Config
+
+	channels []channel
+	chanOf   [][]int32 // chanOf[node][port] -> channel index
+
+	// CreditFC state: input-buffer occupancy per switch per VC, and
+	// channels waiting for space, keyed by node*MaxVCs+vc.
+	occ     [][routing.MaxVCs]int64
+	waiters map[int64][]int32
+
+	flows     []Flow
+	flowSent  []int64
+	flowRecvd []int64
+	switchIdx []int32 // cached switch node ids for UGAL midpoints
+
+	events eventHeap
+	rng    *rand.Rand
+
+	res Result
+}
+
+// New creates a simulator over a built network using minimal adaptive
+// routing from the given table (a fresh table is created if nil).
+func New(n *topo.Network, table *routing.Table, cfg Config) *Sim {
+	if table == nil {
+		table = routing.NewTable(n)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 16
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 500_000_000
+	}
+	s := &Sim{net: n, table: table, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.chanOf = make([][]int32, len(n.Nodes))
+	for i := range n.Nodes {
+		ports := n.Nodes[i].Ports
+		s.chanOf[i] = make([]int32, len(ports))
+		for pi, p := range ports {
+			s.chanOf[i][pi] = int32(len(s.channels))
+			s.channels = append(s.channels, channel{
+				from: int32(i), to: int32(p.To), gbps: p.GBps, latency: p.Latency,
+			})
+		}
+	}
+	if cfg.Mode == CreditFC {
+		s.occ = make([][routing.MaxVCs]int64, len(n.Nodes))
+		s.waiters = make(map[int64][]int32)
+	}
+	return s
+}
+
+// Run simulates the given flows to completion and returns the result.
+func (s *Sim) Run(flows []Flow) (*Result, error) {
+	for fi, f := range flows {
+		if f.Src == f.Dst && f.Bytes > 0 {
+			return nil, fmt.Errorf("netsim: flow %d is a self-flow", fi)
+		}
+	}
+	s.flows = flows
+	s.flowSent = make([]int64, len(flows))
+	s.flowRecvd = make([]int64, len(flows))
+	s.res = Result{FlowFinish: make([]float64, len(flows)), PerEndpointRecv: make(map[topo.NodeID]int64)}
+	if s.cfg.CollectLinkStats {
+		s.res.LinkBytes = make([]int64, len(s.channels))
+	}
+	s.events = s.events[:0]
+
+	for fi, f := range flows {
+		if f.Bytes <= 0 {
+			s.res.FlowFinish[fi] = f.Start
+			continue
+		}
+		for w := 0; w < s.cfg.Window && s.flowSent[fi] < f.Bytes; w++ {
+			s.injectNext(int32(fi), f.Start)
+		}
+	}
+
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(event)
+		s.res.Events++
+		if s.res.Events > s.cfg.MaxEvents {
+			return nil, fmt.Errorf("netsim: exceeded %d events", s.cfg.MaxEvents)
+		}
+		switch ev.kind {
+		case evArrive:
+			s.arrive(ev)
+		case evFree:
+			ci := ev.ch
+			s.channels[ci].busy = false
+			s.startTransmit(ci, ev.t)
+		}
+	}
+	for fi := range flows {
+		if s.flowRecvd[fi] < flows[fi].Bytes {
+			s.res.Deadlocked = true
+		}
+	}
+	if s.res.Deadlocked && s.cfg.Mode != CreditFC {
+		return nil, fmt.Errorf("netsim: internal error: undelivered packets in ideal mode")
+	}
+	return &s.res, nil
+}
+
+// injectNext creates the next packet of flow fi at time t.
+func (s *Sim) injectNext(fi int32, t float64) {
+	f := s.flows[fi]
+	remaining := f.Bytes - s.flowSent[fi]
+	size := int64(s.cfg.LP.PacketB)
+	if remaining < size {
+		size = remaining
+	}
+	s.flowSent[fi] += size
+	pkt := packet{flow: fi, size: int32(size), relVC: -1, ugal: ugalState{mid: -1}}
+	if s.cfg.UGAL.Enable {
+		pkt.ugal.mid = s.chooseUGAL(int32(f.Src), int32(f.Dst), s.rng)
+	}
+	heap.Push(&s.events, event{t: t, kind: evArrive, node: int32(f.Src), ch: -1, pkt: pkt})
+}
+
+// arrive processes a packet reaching a node (after link traversal, or at
+// the source when injected).
+func (s *Sim) arrive(ev event) {
+	node := ev.node
+	pkt := ev.pkt
+	f := s.flows[pkt.flow]
+	if topo.NodeID(node) == f.Dst {
+		s.flowRecvd[pkt.flow] += int64(pkt.size)
+		s.res.TotalBytes += int64(pkt.size)
+		s.res.PerEndpointRecv[f.Dst] += int64(pkt.size)
+		if ev.t > s.res.Makespan {
+			s.res.Makespan = ev.t
+		}
+		if s.flowRecvd[pkt.flow] >= f.Bytes {
+			s.res.FlowFinish[pkt.flow] = ev.t
+		}
+		if s.flowSent[pkt.flow] < f.Bytes {
+			s.injectNext(pkt.flow, ev.t)
+		}
+		return
+	}
+	// Non-minimal (UGAL/Valiant) packets route to their intermediate
+	// first, then minimally to the destination.
+	target := int32(f.Dst)
+	if pkt.ugal.mid >= 0 && !pkt.ugal.reached {
+		if node == pkt.ugal.mid {
+			pkt.ugal.reached = true
+		} else {
+			target = pkt.ugal.mid
+		}
+	}
+	ci := s.pickOutput(node, target)
+	ch := &s.channels[ci]
+	if s.cfg.Mode == CreditFC {
+		// Charge this node's input buffer (switches only; endpoints are
+		// amply buffered NICs) under the arrival VC; the slot is released
+		// when the packet is popped for its next hop.
+		if ev.ch >= 0 && s.net.Nodes[node].Kind == topo.Switch {
+			s.occ[node][pkt.vc] += int64(pkt.size)
+			pkt.relVC = pkt.vc
+		} else {
+			pkt.relVC = -1
+		}
+		pkt.vc = routing.VCPolicy(s.net, topo.NodeID(node), topo.NodeID(ch.to), pkt.vc)
+	}
+	ch.queue = append(ch.queue, pkt)
+	ch.queuedB += int64(pkt.size)
+	if !ch.busy && !ch.blocked {
+		s.startTransmit(ci, ev.t)
+	}
+}
+
+// pickOutput selects among minimal candidate ports per the Choice policy.
+func (s *Sim) pickOutput(node, dst int32) int32 {
+	d := s.table.Dist(topo.NodeID(dst))
+	want := d[node] - 1
+	ports := s.net.Nodes[node].Ports
+	chans := s.chanOf[node]
+	switch s.cfg.Choice {
+	case FirstCandidate:
+		for pi := range ports {
+			if d[ports[pi].To] == want {
+				return chans[pi]
+			}
+		}
+	case RandomCandidate:
+		n := 0
+		for pi := range ports {
+			if d[ports[pi].To] == want {
+				n++
+			}
+		}
+		if n > 0 {
+			pick := s.rng.Intn(n)
+			for pi := range ports {
+				if d[ports[pi].To] == want {
+					if pick == 0 {
+						return chans[pi]
+					}
+					pick--
+				}
+			}
+		}
+	default: // LeastQueued
+		best := int32(-1)
+		var bestQ int64
+		for pi := range ports {
+			if d[ports[pi].To] != want {
+				continue
+			}
+			ci := chans[pi]
+			q := s.channels[ci].queuedB
+			if s.channels[ci].busy {
+				q++ // prefer an idle channel on ties
+			}
+			if best < 0 || q < bestQ {
+				best, bestQ = ci, q
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	panic(fmt.Sprintf("netsim: no minimal port from node %d toward %d", node, dst))
+}
+
+// startTransmit pops the head packet of channel ci if flow control admits
+// it, scheduling serialization and arrival events.
+func (s *Sim) startTransmit(ci int32, t float64) {
+	ch := &s.channels[ci]
+	if ch.busy || ch.blocked || len(ch.queue) == 0 {
+		return
+	}
+	pkt := ch.queue[0]
+	if s.cfg.Mode == CreditFC && s.net.Nodes[ch.to].Kind == topo.Switch {
+		if s.occ[ch.to][pkt.vc]+int64(pkt.size) > int64(s.cfg.LP.BufferB) {
+			ch.blocked = true
+			key := int64(ch.to)*routing.MaxVCs + int64(pkt.vc)
+			s.waiters[key] = append(s.waiters[key], ci)
+			return
+		}
+	}
+	ch.queue = ch.queue[1:]
+	ch.queuedB -= int64(pkt.size)
+	if s.cfg.Mode == CreditFC && pkt.relVC >= 0 {
+		s.releaseBufferAt(ch.from, pkt.relVC, int64(pkt.size), t)
+		pkt.relVC = -1
+	}
+	ser := float64(pkt.size) / ch.gbps
+	if s.cfg.CollectLinkStats {
+		s.res.LinkBytes[ci] += int64(pkt.size)
+	}
+	ch.busy = true
+	heap.Push(&s.events, event{t: t + ser, kind: evFree, ch: ci})
+	heap.Push(&s.events, event{
+		t: t + ser + ch.latency + s.cfg.LP.SwitchNS, kind: evArrive,
+		node: ch.to, ch: ci, pkt: pkt,
+	})
+}
+
+// releaseBufferAt returns buffer space at (node, vc) and wakes channels
+// blocked on that buffer.
+func (s *Sim) releaseBufferAt(node int32, vc int8, size int64, t float64) {
+	s.occ[node][vc] -= size
+	key := int64(node)*routing.MaxVCs + int64(vc)
+	ws := s.waiters[key]
+	if len(ws) == 0 {
+		return
+	}
+	delete(s.waiters, key)
+	for _, wci := range ws {
+		s.channels[wci].blocked = false
+		s.startTransmit(wci, t)
+	}
+}

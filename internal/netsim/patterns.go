@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"hammingmesh/internal/topo"
+)
+
+// ShiftFlows builds the balanced-shift permutation used by the paper's
+// alltoall implementation: in iteration i, endpoint j sends to endpoint
+// (j+i) mod p (§V-A1a). bytes is the per-peer message size.
+func ShiftFlows(endpoints []topo.NodeID, shift int, bytes int64) []Flow {
+	p := len(endpoints)
+	flows := make([]Flow, 0, p)
+	shift = ((shift % p) + p) % p
+	if shift == 0 {
+		return flows
+	}
+	for j := 0; j < p; j++ {
+		flows = append(flows, Flow{Src: endpoints[j], Dst: endpoints[(j+shift)%p], Bytes: bytes})
+	}
+	return flows
+}
+
+// PermutationFlows builds random-permutation traffic: each endpoint sends
+// to and receives from exactly one unique random peer (§V-A1b). Fixed
+// points are removed by cyclic repair so no endpoint sends to itself.
+func PermutationFlows(endpoints []topo.NodeID, bytes int64, rng *rand.Rand) []Flow {
+	p := len(endpoints)
+	perm := rng.Perm(p)
+	// Repair fixed points by swapping with the next index cyclically.
+	for i := 0; i < p; i++ {
+		if perm[i] == i {
+			j := (i + 1) % p
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	flows := make([]Flow, 0, p)
+	for i := 0; i < p; i++ {
+		if perm[i] == i { // p == 1 degenerate
+			continue
+		}
+		flows = append(flows, Flow{Src: endpoints[i], Dst: endpoints[perm[i]], Bytes: bytes})
+	}
+	return flows
+}
+
+// RingNeighborFlows builds the steady-state traffic of a unidirectional
+// pipelined ring: each node sends bytes to its successor. With
+// bidirectional true, predecessor flows are added as well (each direction
+// carrying bytes).
+func RingNeighborFlows(ring []topo.NodeID, bytes int64, bidirectional bool) []Flow {
+	p := len(ring)
+	flows := make([]Flow, 0, 2*p)
+	for i := 0; i < p; i++ {
+		flows = append(flows, Flow{Src: ring[i], Dst: ring[(i+1)%p], Bytes: bytes})
+		if bidirectional {
+			flows = append(flows, Flow{Src: ring[i], Dst: ring[(i-1+p)%p], Bytes: bytes})
+		}
+	}
+	return flows
+}
+
+// AlltoallShareConcurrent estimates the global (alltoall) bandwidth share
+// by simulating window concurrent shift iterations in one run: the
+// paper's balanced-shift alltoall has no barriers, so several shifts are
+// in flight at once and endpoints spread traffic over many destinations —
+// essential on direct topologies (HyperX, Dragonfly, torus) where a
+// single permutation cannot use the path diversity. bytesPerPeer is the
+// per-destination message size; the share is per-endpoint delivered
+// bandwidth over injectGBps.
+func AlltoallShareConcurrent(n *topo.Network, cfg Config, bytesPerPeer int64, window int, injectGBps float64, seed int64) (float64, error) {
+	p := len(n.Endpoints)
+	if window <= 0 || window > p-1 {
+		window = min(16, p-1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var flows []Flow
+	seen := map[int]bool{}
+	for len(seen) < window {
+		shift := 1 + rng.Intn(p-1)
+		if seen[shift] {
+			continue
+		}
+		seen[shift] = true
+		flows = append(flows, ShiftFlows(n.Endpoints, shift, bytesPerPeer)...)
+	}
+	res, err := New(n, nil, cfg).Run(flows)
+	if err != nil {
+		return 0, err
+	}
+	perEp := res.AggregateGBps() / float64(p)
+	return perEp / injectGBps, nil
+}
+
+// AlltoallShare estimates the global (alltoall) bandwidth share of
+// injection bandwidth by simulating nShifts sampled shift iterations one
+// at a time and averaging the per-iteration delivered bandwidth (a lower
+// bound: see AlltoallShareConcurrent for the unsynchronized measurement).
+// Each endpoint injects through a single plane (4 links for HxMesh/torus
+// endpoints, 1 for fat-tree/Dragonfly endpoints); injectGBps is the
+// per-endpoint injection bandwidth the share is normalized against.
+func AlltoallShare(n *topo.Network, cfg Config, bytes int64, nShifts int, injectGBps float64, seed int64) (float64, error) {
+	p := len(n.Endpoints)
+	if nShifts <= 0 || nShifts > p-1 {
+		nShifts = p - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sim := New(n, nil, cfg)
+	sum := 0.0
+	for k := 0; k < nShifts; k++ {
+		shift := 1 + rng.Intn(p-1)
+		res, err := sim.Run(ShiftFlows(n.Endpoints, shift, bytes))
+		if err != nil {
+			return 0, err
+		}
+		perEp := res.AggregateGBps() / float64(p)
+		sum += perEp / injectGBps
+	}
+	return sum / float64(nShifts), nil
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"sort"
+
+	"hammingmesh/internal/topo"
+)
+
+// ChannelInfo describes one directed channel for link-statistics readers.
+type ChannelInfo struct {
+	From, To topo.NodeID
+	Class    topo.LinkClass
+	GBps     float64
+}
+
+// ChannelInfo returns the descriptor of channel i (see Result.LinkBytes).
+func (s *Sim) ChannelInfo(i int) ChannelInfo {
+	ch := s.channels[i]
+	// Recover the link class from the originating port.
+	var class topo.LinkClass
+	for pi, p := range s.net.Nodes[ch.from].Ports {
+		if s.chanOf[ch.from][pi] == int32(i) {
+			class = p.Class
+			break
+		}
+	}
+	return ChannelInfo{From: topo.NodeID(ch.from), To: topo.NodeID(ch.to), Class: class, GBps: ch.gbps}
+}
+
+// NumChannels returns the number of directed channels.
+func (s *Sim) NumChannels() int { return len(s.channels) }
+
+// HotLink is a channel with its carried bytes and utilization over a
+// simulation's makespan.
+type HotLink struct {
+	Channel     int
+	Info        ChannelInfo
+	Bytes       int64
+	Utilization float64 // carried bytes / (GBps * makespan)
+}
+
+// HotLinks returns the n busiest channels of a run with link statistics
+// enabled, sorted by byte count descending.
+func (s *Sim) HotLinks(res *Result, n int) []HotLink {
+	if res.LinkBytes == nil {
+		return nil
+	}
+	out := make([]HotLink, 0, len(res.LinkBytes))
+	for i, b := range res.LinkBytes {
+		if b == 0 {
+			continue
+		}
+		info := s.ChannelInfo(i)
+		util := 0.0
+		if res.Makespan > 0 {
+			util = float64(b) / (info.GBps * res.Makespan)
+		}
+		out = append(out, HotLink{Channel: i, Info: info, Bytes: b, Utilization: util})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// BytesByClass aggregates carried bytes per link class.
+func (s *Sim) BytesByClass(res *Result) map[topo.LinkClass]int64 {
+	out := map[topo.LinkClass]int64{}
+	for i, b := range res.LinkBytes {
+		if b > 0 {
+			out[s.ChannelInfo(i).Class] += b
+		}
+	}
+	return out
+}
+
+// UpperLevelShare returns the fraction of carried bytes on channels whose
+// both endpoints are switches above the given level (e.g., level ≥ 2 =
+// upper fat-tree levels) — the packet-level counterpart of the Fig. 9
+// accounting.
+func (s *Sim) UpperLevelShare(res *Result, minLevel int8) float64 {
+	var upper, total int64
+	for i, b := range res.LinkBytes {
+		if b == 0 {
+			continue
+		}
+		ch := s.channels[i]
+		total += b
+		fromN, toN := &s.net.Nodes[ch.from], &s.net.Nodes[ch.to]
+		if fromN.Kind == topo.Switch && toN.Kind == topo.Switch &&
+			(fromN.Level >= minLevel || toN.Level >= minLevel) {
+			upper += b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(upper) / float64(total)
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"hammingmesh/internal/topo"
+)
+
+// UGALConfig enables UGAL-style non-minimal adaptive routing (Kim et al.;
+// the paper runs UGAL-L for Dragonfly in SST). At injection, the source
+// compares the queue backlog of its best minimal candidate against the
+// backlog toward a random intermediate node (Valiant detour); the packet
+// takes the detour when the minimal path is at least Bias times more
+// backlogged, weighted by the extra hops.
+type UGALConfig struct {
+	Enable bool
+	// Bias scales the minimal-path backlog before comparison; 2 is the
+	// classic UGAL setting (minimal path counted at half weight since the
+	// detour path is roughly twice as long). Zero means 2.
+	Bias float64
+	// Candidates is the number of random intermediates considered per
+	// packet. Zero means 1.
+	Candidates int
+}
+
+// ugalState is carried per packet: the chosen intermediate and whether it
+// has been reached. mid < 0 means minimal routing.
+type ugalState struct {
+	mid     int32
+	reached bool
+}
+
+// chooseUGAL decides the intermediate node for a packet injected at src
+// toward dst, or -1 for minimal routing. It compares the backlog of the
+// best minimal output against the backlog of the best output toward a
+// random intermediate switch.
+func (s *Sim) chooseUGAL(src, dst int32, rng *rand.Rand) int32 {
+	cfg := s.cfg.UGAL
+	if !cfg.Enable {
+		return -1
+	}
+	bias := cfg.Bias
+	if bias <= 0 {
+		bias = 2
+	}
+	cands := cfg.Candidates
+	if cands <= 0 {
+		cands = 1
+	}
+	minQ := s.bestQueue(src, dst)
+	bestMid := int32(-1)
+	bestQ := minQ * bias
+	for k := 0; k < cands; k++ {
+		mid := s.randomSwitch(rng)
+		if mid < 0 || mid == src || mid == dst {
+			continue
+		}
+		q := s.bestQueue(src, mid)
+		if q < bestQ {
+			bestQ = q
+			bestMid = mid
+		}
+	}
+	return bestMid
+}
+
+// bestQueue is the smallest output backlog among minimal candidates.
+func (s *Sim) bestQueue(at, toward int32) float64 {
+	d := s.table.Dist(topo.NodeID(toward))
+	want := d[at] - 1
+	best := -1.0
+	for pi, p := range s.net.Nodes[at].Ports {
+		if d[p.To] != want {
+			continue
+		}
+		q := float64(s.channels[s.chanOf[at][pi]].queuedB)
+		if best < 0 || q < best {
+			best = q
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// randomSwitch picks a random switch node (cached index).
+func (s *Sim) randomSwitch(rng *rand.Rand) int32 {
+	if s.switchIdx == nil {
+		for i := range s.net.Nodes {
+			if s.net.Nodes[i].Kind == topo.Switch {
+				s.switchIdx = append(s.switchIdx, int32(i))
+			}
+		}
+	}
+	if len(s.switchIdx) == 0 {
+		return -1
+	}
+	return s.switchIdx[rng.Intn(len(s.switchIdx))]
+}

@@ -1,0 +1,146 @@
+// Package routing computes minimal adaptive routes on the topologies built
+// by internal/topo. For every destination it derives the all-shortest-path
+// DAG by breadth-first search; at each node the candidate next hops are the
+// ports whose peer is strictly closer to the destination. The simulator
+// picks among candidates adaptively (least-loaded output), which yields the
+// paper's routing behaviour on every topology:
+//
+//   - fat trees: up/down routing emerges from shortest paths,
+//   - HxMesh: on-board torus adaptivity, closest-edge exit, intermediate
+//     boards for cross-row-cross-column traffic (§IV-C),
+//   - torus: dimension-adaptive minimal routing,
+//   - Dragonfly: minimal (direct) routing, with an optional Valiant detour
+//     for non-minimal load balancing.
+//
+// Deadlock freedom in the credit-based simulator uses the paper's virtual
+// channel policy (§IV-C3): the VC is incremented every time a packet leaves
+// a board and enters a dimension network, requiring at most three VCs.
+package routing
+
+import (
+	"hammingmesh/internal/topo"
+)
+
+// MaxVCs is the number of virtual channels required by the HxMesh VC
+// escalation policy (§IV-C3): a packet crosses at most two fat trees.
+const MaxVCs = 3
+
+// Table holds per-destination distance vectors, computed lazily and cached.
+type Table struct {
+	Net  *topo.Network
+	dist map[topo.NodeID][]int32
+}
+
+// NewTable creates a routing table for the network.
+func NewTable(n *topo.Network) *Table {
+	return &Table{Net: n, dist: make(map[topo.NodeID][]int32)}
+}
+
+// Dist returns the hop-distance vector toward dst (computing it on first
+// use). dist[v] is the number of links from v to dst.
+func (t *Table) Dist(dst topo.NodeID) []int32 {
+	if d, ok := t.dist[dst]; ok {
+		return d
+	}
+	d := topo.BFSFrom(t.Net, dst)
+	t.dist[dst] = d
+	return d
+}
+
+// Precompute fills the cache for the given destinations (useful before
+// timing-sensitive simulation loops).
+func (t *Table) Precompute(dsts []topo.NodeID) {
+	for _, d := range dsts {
+		t.Dist(d)
+	}
+}
+
+// NextPorts appends to buf the indexes of ports on node `at` that lie on a
+// shortest path to dst and returns the extended slice. It returns buf
+// unchanged if at == dst.
+func (t *Table) NextPorts(at, dst topo.NodeID, buf []int) []int {
+	if at == dst {
+		return buf
+	}
+	d := t.Dist(dst)
+	want := d[at] - 1
+	for i, p := range t.Net.Nodes[at].Ports {
+		if d[p.To] == want {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// PathLen returns the shortest path length in links between two nodes.
+func (t *Table) PathLen(a, b topo.NodeID) int { return int(t.Dist(b)[a]) }
+
+// SamplePath returns one shortest path (as node ids, inclusive of both
+// ends) selected deterministically by the seed among the shortest-path DAG
+// branches. Used by the flow-level solver to enumerate path diversity.
+func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
+	d := t.Dist(dst)
+	if d[src] < 0 {
+		return nil
+	}
+	path := make([]topo.NodeID, 0, d[src]+1)
+	path = append(path, src)
+	at := src
+	rng := seed
+	for at != dst {
+		want := d[at] - 1
+		// Count candidates, then pick the rng-th.
+		n := 0
+		for _, p := range t.Net.Nodes[at].Ports {
+			if d[p.To] == want {
+				n++
+			}
+		}
+		rng = rng*6364136223846793005 + 1442695040888963407
+		pick := int(rng>>33) % n
+		for _, p := range t.Net.Nodes[at].Ports {
+			if d[p.To] == want {
+				if pick == 0 {
+					at = p.To
+					break
+				}
+				pick--
+			}
+		}
+		path = append(path, at)
+	}
+	return path
+}
+
+// VCPolicy decides the virtual channel of a packet after it traverses a
+// hop. The HxMesh policy (§IV-C3) increments the VC whenever the packet
+// jumps from a board into a dimension network (an endpoint-to-switch hop),
+// so board-internal north-last routing and in-tree up/down routing each
+// stay within one VC and at most three VCs are used.
+func VCPolicy(n *topo.Network, from, to topo.NodeID, vc int8) int8 {
+	if n.Nodes[from].Kind == topo.Endpoint && n.Nodes[to].Kind == topo.Switch {
+		if vc < MaxVCs-1 {
+			return vc + 1
+		}
+		return vc
+	}
+	return vc
+}
+
+// Valiant holds an optional non-minimal routing decision: route first
+// minimally to Mid, then minimally to the destination. Used for UGAL-style
+// load balancing on Dragonfly (the paper uses UGAL-L there).
+type Valiant struct {
+	Mid topo.NodeID
+}
+
+// NextPortsVia routes toward mid until reached, then toward dst.
+func (t *Table) NextPortsVia(at, mid, dst topo.NodeID, reachedMid bool, buf []int) ([]int, bool) {
+	if !reachedMid && at == mid {
+		reachedMid = true
+	}
+	if reachedMid {
+		return t.NextPorts(at, dst, buf), true
+	}
+	return t.NextPorts(at, mid, buf), false
+}

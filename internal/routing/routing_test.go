@@ -1,0 +1,149 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hammingmesh/internal/topo"
+)
+
+func lp() topo.LinkParams { return topo.DefaultLinkParams() }
+
+func TestNextPortsDecreaseDistance(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, lp())
+	tab := NewTable(h.Network)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		src := h.Endpoints[rng.Intn(len(h.Endpoints))]
+		dst := h.Endpoints[rng.Intn(len(h.Endpoints))]
+		if src == dst {
+			continue
+		}
+		d := tab.Dist(dst)
+		ports := tab.NextPorts(src, dst, nil)
+		if len(ports) == 0 {
+			t.Fatalf("no next ports from %d to %d", src, dst)
+		}
+		for _, pi := range ports {
+			peer := h.Nodes[src].Ports[pi].To
+			if d[peer] != d[src]-1 {
+				t.Fatalf("port %d does not decrease distance", pi)
+			}
+		}
+	}
+}
+
+func TestSamplePathIsShortestWalk(t *testing.T) {
+	nets := []*topo.Network{
+		topo.NewHxMesh(2, 2, 4, 4, lp()).Network,
+		topo.NewFatTree(128, topo.NonblockingTree(), lp()),
+		topo.NewTorus2D(8, 8, 2, 2, lp()),
+		topo.NewDragonfly(topo.DragonflyConfig{A: 4, P: 2, H: 2, G: 5, LP: lp()}),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range nets {
+		tab := NewTable(n)
+		for trial := 0; trial < 50; trial++ {
+			src := n.Endpoints[rng.Intn(len(n.Endpoints))]
+			dst := n.Endpoints[rng.Intn(len(n.Endpoints))]
+			path := tab.SamplePath(src, dst, uint64(trial))
+			if src == dst {
+				if len(path) != 1 {
+					t.Fatalf("%s: self path length %d", n.Name, len(path))
+				}
+				continue
+			}
+			if len(path) != tab.PathLen(src, dst)+1 {
+				t.Fatalf("%s: path length %d != shortest %d", n.Name, len(path)-1, tab.PathLen(src, dst))
+			}
+			// Consecutive nodes must be adjacent.
+			for i := 0; i+1 < len(path); i++ {
+				adj := false
+				for _, p := range n.Nodes[path[i]].Ports {
+					if p.To == path[i+1] {
+						adj = true
+						break
+					}
+				}
+				if !adj {
+					t.Fatalf("%s: path nodes %d,%d not adjacent", n.Name, path[i], path[i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestHxMeshIntermediateBoardPath(t *testing.T) {
+	// Cross-row cross-column traffic must pass through an intermediate
+	// board's accelerators or through two dimension networks (§IV-C2).
+	h := topo.NewHxMesh(2, 2, 4, 4, lp())
+	tab := NewTable(h.Network)
+	src := h.Accel(0, 0) // board (0,0)
+	dst := h.Accel(7, 7) // board (3,3)
+	path := tab.SamplePath(src, dst, 3)
+	switches := 0
+	for _, id := range path {
+		if h.Nodes[id].Kind == topo.Switch {
+			switches++
+		}
+	}
+	if switches != 2 {
+		t.Errorf("cross-row-column path crosses %d dimension networks, want 2 (path %v)", switches, path)
+	}
+}
+
+func TestVCPolicyBounded(t *testing.T) {
+	// Property: along any sampled path, the VC never exceeds MaxVCs-1 and
+	// never decreases.
+	h := topo.NewHxMesh(2, 2, 4, 4, lp())
+	tab := NewTable(h.Network)
+	f := func(s8, d8 uint8, seed uint64) bool {
+		src := h.Endpoints[int(s8)%len(h.Endpoints)]
+		dst := h.Endpoints[int(d8)%len(h.Endpoints)]
+		path := tab.SamplePath(src, dst, seed)
+		vc := int8(0)
+		for i := 0; i+1 < len(path); i++ {
+			nvc := VCPolicy(h.Network, path[i], path[i+1], vc)
+			if nvc < vc || nvc >= MaxVCs {
+				return false
+			}
+			vc = nvc
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextPortsVia(t *testing.T) {
+	n := topo.NewDragonfly(topo.DragonflyConfig{A: 4, P: 2, H: 2, G: 5, LP: lp()})
+	tab := NewTable(n)
+	src, mid, dst := n.Endpoints[0], n.Endpoints[20], n.Endpoints[39]
+	// Walk hop by hop via mid; total hops must equal d(src,mid)+d(mid,dst).
+	at, reached := src, false
+	hops := 0
+	for at != dst && hops < 100 {
+		var ports []int
+		ports, reached = tab.NextPortsVia(at, mid, dst, reached, nil)
+		if len(ports) == 0 {
+			t.Fatal("stuck")
+		}
+		at = n.Nodes[at].Ports[ports[0]].To
+		hops++
+	}
+	want := tab.PathLen(src, mid) + tab.PathLen(mid, dst)
+	if hops != want {
+		t.Errorf("valiant walk took %d hops, want %d", hops, want)
+	}
+}
+
+func TestPrecompute(t *testing.T) {
+	h := topo.NewHxMesh(1, 1, 4, 4, lp())
+	tab := NewTable(h.Network)
+	tab.Precompute(h.Endpoints)
+	if len(tab.dist) != len(h.Endpoints) {
+		t.Errorf("precomputed %d vectors, want %d", len(tab.dist), len(h.Endpoints))
+	}
+}

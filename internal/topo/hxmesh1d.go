@@ -1,0 +1,67 @@
+package topo
+
+import "fmt"
+
+// NewHxMesh1D builds a one-dimensional HammingMesh (§III: "The board
+// arrangement could be reduced to a 1D HxMesh, where y = 1 and each Nk
+// link is connected to the corresponding Sk link ('wrapped around')"):
+// a single row of x boards whose columns close into on-board vertical
+// rings, with only the x dimension switched.
+func NewHxMesh1D(a, b, x int, lp LinkParams) *HxMesh {
+	if a < 1 || b < 2 || x < 1 {
+		panic(fmt.Sprintf("topo: invalid 1D HxMesh a=%d b=%d x=%d (b must be ≥2 to wrap)", a, b, x))
+	}
+	n := &Network{Name: fmt.Sprintf("hx%dx%dmesh1d-%d", a, b, x)}
+	n.Meta = Meta{Family: "hxmesh", Planes: lp.NumPlanes,
+		BoardA: a, BoardB: b, GlobalX: x, GlobalY: 1, NumAccels: a * b * x}
+	h := &HxMesh{Network: n, Cfg: HxMeshConfig{A: a, B: b, X: x, Y: 1, LP: lp}}
+
+	gw := x * a
+	h.AccelAt = make([][]NodeID, b)
+	for gy := 0; gy < b; gy++ {
+		h.AccelAt[gy] = make([]NodeID, gw)
+		for gx := 0; gx < gw; gx++ {
+			id := n.AddNode(Endpoint)
+			n.Nodes[id].Coord = [4]int16{int16(gx), int16(gy), int16(gx / a), 0}
+			h.AccelAt[gy][gx] = id
+		}
+	}
+	// On-board PCB mesh links; the y dimension wraps (N of the top row
+	// connects to S of the bottom row of the same board column).
+	for gy := 0; gy < b; gy++ {
+		for gx := 0; gx < gw; gx++ {
+			if gx+1 < gw && gx/a == (gx+1)/a {
+				n.Link(h.AccelAt[gy][gx], h.AccelAt[gy][gx+1], PCB, lp.GBps, lp.TraceNS)
+			}
+			ny := gy + 1
+			if ny == b {
+				if b > 2 { // b==2 would duplicate the single vertical link
+					n.Link(h.AccelAt[gy][gx], h.AccelAt[0][gx], PCB, lp.GBps, lp.TraceNS)
+				}
+			} else {
+				n.Link(h.AccelAt[gy][gx], h.AccelAt[ny][gx], PCB, lp.GBps, lp.TraceNS)
+			}
+		}
+	}
+	// Row networks as in the 2D construction.
+	spec := NonblockingTree()
+	h.RowSwitches = make([][]NodeID, 1)
+	if 2*b*x <= spec.Radix {
+		var attach []NodeID
+		for j := 0; j < b; j++ {
+			for bx := 0; bx < x; bx++ {
+				attach = append(attach, h.AccelAt[j][bx*a], h.AccelAt[j][bx*a+a-1])
+			}
+		}
+		h.RowSwitches[0] = attachTree(n, attach, DAC, lp, spec)
+	} else {
+		for j := 0; j < b; j++ {
+			var attach []NodeID
+			for bx := 0; bx < x; bx++ {
+				attach = append(attach, h.AccelAt[j][bx*a], h.AccelAt[j][bx*a+a-1])
+			}
+			h.RowSwitches[0] = append(h.RowSwitches[0], attachTree(n, attach, DAC, lp, spec)...)
+		}
+	}
+	return h
+}
