@@ -10,8 +10,10 @@
 package hammingmesh_test
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -23,6 +25,9 @@ import (
 	"hammingmesh/internal/cost"
 	"hammingmesh/internal/dnn"
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/runner"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 	"hammingmesh/internal/workload"
 )
@@ -108,33 +113,40 @@ func BenchmarkTable2GlobalBW(b *testing.B) {
 	}
 	for _, name := range core.TopologyNames() {
 		b.Run(name, func(b *testing.B) {
+			// Built once outside the timed loop: iterations measure the
+			// sweeps, and throwaway networks are not pinned per iteration.
+			c, err := core.NewByName(name, core.Small)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Packet level uses 16 concurrent shifts (the unsynchronized
+			// measurement). HyperX uses the switch-grid construction the
+			// paper simulates (topo.NewHyperXDirect); Dragonfly uses UGAL
+			// as in the paper's SST runs.
+			comp := c.Comp
+			if name == "hyperx" {
+				comp = simcore.Compile(topo.NewHyperXDirect(32, 32, 4, topo.DefaultLinkParams()))
+			}
+			inj := 4 * 50.0
+			if name == "fattree" || name == "fattree50" || name == "fattree75" || name == "dragonfly" {
+				inj = 50.0
+			}
+			cfg := netsim.DefaultConfig()
+			if name == "dragonfly" {
+				cfg.UGAL = netsim.UGALConfig{Enable: true, Candidates: 2}
+			}
+			tab := c.Table
+			if comp != c.Comp {
+				tab = routing.NewTable(comp)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c, err := core.NewByName(name, core.Small)
-				if err != nil {
-					b.Fatal(err)
-				}
 				// Flow-level serialized shifts (lower bound) ...
 				shareFlow, err := c.AlltoallShare(2, 9)
 				if err != nil {
 					b.Fatal(err)
 				}
-				// ... and packet-level with 16 concurrent shifts (the
-				// unsynchronized measurement). HyperX uses the switch-grid
-				// construction the paper simulates (topo.NewHyperXDirect);
-				// Dragonfly uses UGAL as in the paper's SST runs.
-				net := c.Net
-				if name == "hyperx" {
-					net = topo.NewHyperXDirect(32, 32, 4, topo.DefaultLinkParams())
-				}
-				inj := 4 * 50.0
-				if name == "fattree" || name == "fattree50" || name == "fattree75" || name == "dragonfly" {
-					inj = 50.0
-				}
-				cfg := netsim.DefaultConfig()
-				if name == "dragonfly" {
-					cfg.UGAL = netsim.UGALConfig{Enable: true, Candidates: 2}
-				}
-				sharePkt, err := netsim.AlltoallShareConcurrent(net, cfg, 32<<10, 16, inj, 7)
+				sharePkt, err := netsim.AlltoallShareConcurrent(comp, tab, cfg, 32<<10, 16, inj, 7)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -156,11 +168,12 @@ func BenchmarkTable2AllreduceBW(b *testing.B) {
 	}
 	for _, name := range []string{"fattree", "hx2mesh", "hx4mesh", "torus"} {
 		b.Run(name, func(b *testing.B) {
+			c, err := core.NewByName(name, core.Small)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c, err := core.NewByName(name, core.Small)
-				if err != nil {
-					b.Fatal(err)
-				}
 				share, err := c.AllreduceShare(512 << 10)
 				if err != nil {
 					b.Fatal(err)
@@ -351,11 +364,12 @@ func BenchmarkFig11Alltoall(b *testing.B) {
 func BenchmarkFig12Permutation(b *testing.B) {
 	for _, name := range []string{"fattree", "hx2mesh", "hx4mesh"} {
 		b.Run(name, func(b *testing.B) {
+			c, err := core.NewByName(name, core.Small)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				c, err := core.NewByName(name, core.Small)
-				if err != nil {
-					b.Fatal(err)
-				}
 				bws, err := c.PermutationGBps(64<<10, 5)
 				if err != nil {
 					b.Fatal(err)
@@ -423,16 +437,19 @@ func benchAllreduceCurves(b *testing.B, key, title string, p int) {
 func BenchmarkFig6Tapering(b *testing.B) {
 	for _, taper := range []float64{0, 0.5, 0.75} {
 		b.Run(fmt.Sprintf("taper%.0f%%", 100*taper), func(b *testing.B) {
+			lp := topo.DefaultLinkParams()
+			h := topo.NewHxMeshConfig(topo.HxMeshConfig{
+				A: 2, B: 2, X: 40, Y: 4, Taper: taper, LP: lp, // 2x=80 forces trees in x
+			})
+			r1, r2, err := collective.TwoRingsOnHxMesh(h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp := simcore.Compile(h.Network)
+			tab := routing.NewTable(comp)
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				lp := topo.DefaultLinkParams()
-				h := topo.NewHxMeshConfig(topo.HxMeshConfig{
-					A: 2, B: 2, X: 40, Y: 4, Taper: taper, LP: lp, // 2x=80 forces trees in x
-				})
-				r1, r2, err := collective.TwoRingsOnHxMesh(h)
-				if err != nil {
-					b.Fatal(err)
-				}
-				share, err := collective.MeasureAllreduceShare(h.Network,
+				share, err := collective.MeasureAllreduceShare(comp, tab,
 					[][]topo.NodeID{r1, r2}, 256<<10, netsim.DefaultConfig(), 200)
 				if err != nil {
 					b.Fatal(err)
@@ -495,7 +512,7 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := netsim.DefaultConfig()
 				cfg.Choice = choice.c
-				res, err := netsim.New(h.Network, nil, cfg).Run(flows)
+				res, err := netsim.NewNet(h.Network, nil, cfg).Run(flows)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -523,7 +540,7 @@ func BenchmarkAblationFlowControl(b *testing.B) {
 				cfg := netsim.DefaultConfig()
 				cfg.Mode = mode.m
 				cfg.LP.BufferB = 128 << 10
-				res, err := netsim.New(h.Network, nil, cfg).Run(flows)
+				res, err := netsim.NewNet(h.Network, nil, cfg).Run(flows)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -595,11 +612,64 @@ func BenchmarkPacketSim(b *testing.B) {
 	b.ResetTimer()
 	var events int64
 	for i := 0; i < b.N; i++ {
-		res, err := netsim.New(h.Network, nil, netsim.DefaultConfig()).Run(flows)
+		res, err := netsim.NewNet(h.Network, nil, netsim.DefaultConfig()).Run(flows)
 		if err != nil {
 			b.Fatal(err)
 		}
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// benchWorkers returns the worker count for runner-based sweeps. It honors
+// go test's standard -parallel flag (go test -bench ... -parallel N), so
+// the runner's scaling can be measured directly:
+//
+//	go test -bench BenchmarkAlltoallSweep -short -parallel 1
+//	go test -bench BenchmarkAlltoallSweep -short -parallel 8
+func benchWorkers() int {
+	if f := flag.Lookup("test.parallel"); f != nil {
+		if g, ok := f.Value.(flag.Getter); ok {
+			if n, ok := g.Get().(int); ok && n > 0 {
+				return n
+			}
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BenchmarkAlltoallSweep measures the packet-level alltoall shift sweep
+// (the Table II global-bandwidth estimator) submitted through the
+// experiment runner. One simulation per sampled shift runs on each worker;
+// the result is identical to the serial netsim.AlltoallShare for any
+// worker count. With -short the tiny cluster is used as a smoke test.
+func BenchmarkAlltoallSweep(b *testing.B) {
+	size := core.Small
+	shifts := 8
+	bytes := int64(32 << 10)
+	if testing.Short() {
+		size = core.Tiny
+		shifts = 4
+	}
+	pool := runner.NewSeeded(benchWorkers(), 7)
+	c, err := pool.Cluster("hx2mesh", size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the shared routing table so the measurement isolates the sweep.
+	if _, err := pool.AlltoallPacketShare(c, netsim.DefaultConfig(), 8<<10, shifts, 7); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		share, err := pool.AlltoallPacketShare(c, netsim.DefaultConfig(), bytes, shifts, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*share, "%inject")
+		once("a2asweep", func() {
+			fmt.Printf("  alltoall sweep hx2mesh/%s: %d shifts on %d workers, share %.1f%%\n",
+				size, shifts, pool.Workers(), 100*share)
+		})
+	}
 }

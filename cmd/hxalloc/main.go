@@ -1,7 +1,12 @@
 // Command hxalloc reproduces the allocation study of §IV-B: the job-size
 // CDF (Fig. 7), system utilization under the heuristic stacks (Fig. 8),
 // the upper-layer fat-tree traffic fractions (Fig. 9), and utilization
-// under board failures (Fig. 10).
+// under board failures (Fig. 10). The job mixes of each heuristic stack
+// run as parallel jobs on the experiment runner with deterministic
+// per-mix seeds; mixes are therefore sampled i.i.d. (each mix gets its
+// own sampler, so an oversized job at the tail of one mix is dropped
+// rather than carried into the next, unlike the previous sequential
+// sampler — a deliberate trade for parallelism).
 //
 // Usage:
 //
@@ -15,7 +20,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
+	"hammingmesh/internal/runner"
 	"hammingmesh/internal/workload"
 )
 
@@ -26,6 +33,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	board := flag.Int("board", 4, "accelerators per board (4 for Hx2Mesh, 16 for Hx4Mesh)")
 	cdf := flag.Bool("cdf", false, "print the job-size board CDF (Fig. 7) and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the mix sweep")
 	flag.Parse()
 
 	d := workload.AlibabaLike()
@@ -45,16 +53,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -grid %q\n", *grid)
 		os.Exit(1)
 	}
-	fmt.Printf("grid %dx%d (%d boards), %d mixes, %d failed boards\n\n", x, y, x*y, *mixes, *failures)
+	pool := runner.NewSeeded(*parallel, *seed)
+	fmt.Printf("grid %dx%d (%d boards), %d mixes, %d failed boards, %d workers\n\n",
+		x, y, x*y, *mixes, *failures, pool.Workers())
 	fmt.Printf("%-42s %6s %6s %6s | %9s %9s\n", "heuristics (Fig. 8)", "mean", "median", "p99", "a2a-upper", "ar-upper")
 	for _, h := range workload.Fig8Stacks() {
-		sampler := workload.NewSampler(d, *seed)
-		rng := rand.New(rand.NewSource(*seed + 99))
+		jobs := make([]runner.Job, *mixes)
+		for m := range jobs {
+			jobs[m] = runner.Job{
+				Name: fmt.Sprintf("%s/mix%d", h.Name, m),
+				Run: func(ctx *runner.Ctx) (any, error) {
+					// Every mix gets its own sampler and RNG derived from
+					// the deterministic per-job seed, so results do not
+					// depend on worker count or ordering.
+					sampler := workload.NewSampler(d, ctx.Seed)
+					rng := rand.New(rand.NewSource(ctx.Seed + 99))
+					return workload.RunMix(x, y, sampler.Mix(x*y, *board), h, *failures, rng), nil
+				},
+			}
+		}
+		results := pool.Run(jobs)
+		if err := runner.FirstErr(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		utils := make([]float64, 0, *mixes)
 		a2a, ar := 0.0, 0.0
-		for m := 0; m < *mixes; m++ {
-			mix := sampler.Mix(x*y, *board)
-			r := workload.RunMix(x, y, mix, h, *failures, rng)
+		for _, res := range results {
+			r := res.Value.(workload.UtilizationResult)
 			utils = append(utils, r.Utilization)
 			a2a += r.UpperA2A
 			ar += r.UpperAllred

@@ -1,13 +1,16 @@
 // Command hxsim runs the paper's microbenchmarks (§V-A) on any Table II
 // topology: alltoall global bandwidth (Fig. 11 / Table II), random
 // permutation bandwidth distributions (Fig. 12), and ring/torus allreduce
-// (Figs. 13, 17 / Table II).
+// (Figs. 13, 17 / Table II). Packet-level sweeps are submitted to the
+// worker-pool experiment runner, so shift iterations and repeated
+// permutations run concurrently on -parallel workers with deterministic
+// results.
 //
 // Usage:
 //
 //	hxsim -topo hx2mesh -size tiny -pattern alltoall -bytes 262144
 //	hxsim -topo fattree -size small -pattern allreduce
-//	hxsim -topo hx4mesh -size tiny -pattern permutation -credit
+//	hxsim -topo hx4mesh -size tiny -pattern permutation -credit -parallel 8
 //
 // Sizes: tiny (≈64 accels, packet-level), small (≈1k, flow-level where
 // needed), large (≈16k, flow-level/analytic only).
@@ -17,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"hammingmesh/internal/core"
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/runner"
 )
 
 func main() {
@@ -29,17 +34,26 @@ func main() {
 	pattern := flag.String("pattern", "alltoall", "traffic pattern: alltoall, permutation, allreduce")
 	bytes := flag.Int64("bytes", 256<<10, "bytes per flow / per peer")
 	shifts := flag.Int("shifts", 8, "sampled shift iterations for alltoall")
+	perms := flag.Int("perms", 1, "sampled permutations for the permutation pattern")
 	seed := flag.Int64("seed", 1, "random seed")
 	credit := flag.Bool("credit", false, "use credit-based flow control instead of ideal buffers")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
 	flag.Parse()
 
-	c, err := core.NewByName(*topoName, core.ClusterSize(*size))
+	pool := runner.NewSeeded(*parallel, *seed)
+	c, err := pool.Cluster(*topoName, core.ClusterSize(*size))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("topology %s (%s): %d endpoints, %d switches/plane, diameter %d, cost %.2f M$\n",
-		*topoName, *size, c.Net.NumEndpoints(), c.Net.NumSwitches(), c.Diameter(), c.CostMUSD())
+	fmt.Printf("topology %s (%s): %d endpoints, %d switches/plane, diameter %d, cost %.2f M$ (%d workers)\n",
+		*topoName, *size, c.Net.NumEndpoints(), c.Net.NumSwitches(), c.Diameter(), c.CostMUSD(), pool.Workers())
+
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = *seed
+	if *credit {
+		cfg.Mode = netsim.CreditFC
+	}
 
 	switch *pattern {
 	case "alltoall":
@@ -51,12 +65,7 @@ func main() {
 		}
 		fmt.Printf("alltoall global bandwidth share (flow-level): %.1f%% of injection\n", 100*shareFlow)
 		if *size == string(core.Tiny) {
-			cfg := netsim.DefaultConfig()
-			cfg.Seed = *seed
-			if *credit {
-				cfg.Mode = netsim.CreditFC
-			}
-			sharePkt, err := c.AlltoallSharePacket(*bytes, *shifts, *seed)
+			sharePkt, err := pool.AlltoallPacketShare(c, cfg, *bytes, *shifts, *seed)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -64,7 +73,7 @@ func main() {
 			fmt.Printf("alltoall global bandwidth share (packet-level, %d B/peer): %.1f%%\n", *bytes, 100*sharePkt)
 		}
 	case "permutation":
-		bws, err := c.PermutationGBps(*bytes, *seed)
+		bws, err := pool.PermutationSweepGBps(c, cfg, *bytes, *perms, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

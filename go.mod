@@ -1,0 +1,3 @@
+module hammingmesh
+
+go 1.24

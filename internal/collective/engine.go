@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -29,22 +31,26 @@ func (r SimResult) BandwidthGBps(totalBytes int64) float64 {
 // message is delivered (no cross-round pipelining, which makes the result
 // a slight upper bound on the fully pipelined schedule).
 type roundRunner struct {
-	net   *topo.Network
-	cfg   netsim.Config
-	time  float64
-	round int
-	sent  map[topo.NodeID]int64
+	comp       *simcore.Compiled
+	table      *routing.Table // shared across rounds (BFS/DAG computed once)
+	cfg        netsim.Config
+	time       float64
+	round      int
+	sentByRank []int64 // bytes sent per endpoint rank
 }
 
-func newRoundRunner(n *topo.Network, cfg netsim.Config) *roundRunner {
-	return &roundRunner{net: n, cfg: cfg, sent: make(map[topo.NodeID]int64)}
+func newRoundRunner(c *simcore.Compiled, cfg netsim.Config) *roundRunner {
+	return &roundRunner{
+		comp: c, table: routing.NewTable(c), cfg: cfg,
+		sentByRank: make([]int64, c.NumEndpoints()),
+	}
 }
 
 func (rr *roundRunner) run(flows []netsim.Flow) error {
 	if len(flows) == 0 {
 		return nil
 	}
-	res, err := netsim.New(rr.net, nil, rr.cfg).Run(flows)
+	res, err := netsim.New(rr.comp, rr.table, rr.cfg).Run(flows)
 	if err != nil {
 		return err
 	}
@@ -54,14 +60,14 @@ func (rr *roundRunner) run(flows []netsim.Flow) error {
 	rr.time += res.Makespan
 	rr.round++
 	for _, f := range flows {
-		rr.sent[f.Src] += f.Bytes
+		rr.sentByRank[rr.comp.RankOf[f.Src]] += f.Bytes
 	}
 	return nil
 }
 
 func (rr *roundRunner) result() SimResult {
 	var maxSent int64
-	for _, b := range rr.sent {
+	for _, b := range rr.sentByRank {
 		if b > maxSent {
 			maxSent = b
 		}
@@ -75,7 +81,7 @@ func (rr *roundRunner) result() SimResult {
 // round sending one segment to the ring successor (§V-A2b). With
 // bidirectional set, the data is split in half and both directions run
 // concurrently in every round.
-func SimulateRingAllreduce(n *topo.Network, ring []topo.NodeID, totalBytes int64, bidirectional bool, cfg netsim.Config) (SimResult, error) {
+func SimulateRingAllreduce(c *simcore.Compiled, ring []topo.NodeID, totalBytes int64, bidirectional bool, cfg netsim.Config) (SimResult, error) {
 	p := len(ring)
 	if p < 3 {
 		return SimResult{}, fmt.Errorf("collective: ring of %d too small", p)
@@ -87,7 +93,7 @@ func SimulateRingAllreduce(n *topo.Network, ring []topo.NodeID, totalBytes int64
 	if bidirectional {
 		seg = (seg + 1) / 2
 	}
-	rr := newRoundRunner(n, cfg)
+	rr := newRoundRunner(c, cfg)
 	for epoch := 0; epoch < 2; epoch++ {
 		for round := 0; round < p-1; round++ {
 			flows := make([]netsim.Flow, 0, 2*p)
@@ -109,7 +115,7 @@ func SimulateRingAllreduce(n *topo.Network, ring []topo.NodeID, totalBytes int64
 // bidirectional pipelined rings on the edge-disjoint Hamiltonian cycles,
 // each reducing half of the data (§V-A2b). Rounds of both rings execute
 // concurrently in the same simulation.
-func SimulateTwoRingsAllreduce(n *topo.Network, ring1, ring2 []topo.NodeID, totalBytes int64, cfg netsim.Config) (SimResult, error) {
+func SimulateTwoRingsAllreduce(c *simcore.Compiled, ring1, ring2 []topo.NodeID, totalBytes int64, cfg netsim.Config) (SimResult, error) {
 	p := len(ring1)
 	if len(ring2) != p || p < 3 {
 		return SimResult{}, fmt.Errorf("collective: rings must have equal size ≥ 3")
@@ -120,7 +126,7 @@ func SimulateTwoRingsAllreduce(n *topo.Network, ring1, ring2 []topo.NodeID, tota
 	if seg <= 0 {
 		seg = 1
 	}
-	rr := newRoundRunner(n, cfg)
+	rr := newRoundRunner(c, cfg)
 	for epoch := 0; epoch < 2; epoch++ {
 		for round := 0; round < p-1; round++ {
 			flows := make([]netsim.Flow, 0, 4*p)
@@ -150,7 +156,7 @@ func SimulateTorusAllreduce(h *topo.HxMesh, totalBytes int64, cfg netsim.Config)
 		return SimResult{}, fmt.Errorf("collective: grid %dx%d too small", rows, cols)
 	}
 	half := totalBytes / 2
-	rr := newRoundRunner(h.Network, cfg)
+	rr := newRoundRunner(simcore.Compile(h.Network), cfg)
 
 	rowRing := func(r int) []topo.NodeID {
 		ring := make([]topo.NodeID, cols)
@@ -216,8 +222,8 @@ func SimulateTorusAllreduce(h *topo.HxMesh, totalBytes int64, cfg netsim.Config)
 
 // SimulateAlltoall runs the balanced-shift alltoall (§V-A1a) at message
 // granularity: p−1 shift rounds of bytesPerPeer each.
-func SimulateAlltoall(n *topo.Network, bytesPerPeer int64, maxRounds int, cfg netsim.Config) (SimResult, error) {
-	p := len(n.Endpoints)
+func SimulateAlltoall(c *simcore.Compiled, bytesPerPeer int64, maxRounds int, cfg netsim.Config) (SimResult, error) {
+	p := c.NumEndpoints()
 	if p < 2 {
 		return SimResult{}, fmt.Errorf("collective: need ≥2 endpoints")
 	}
@@ -228,13 +234,13 @@ func SimulateAlltoall(n *topo.Network, bytesPerPeer int64, maxRounds int, cfg ne
 		scale = float64(rounds) / float64(maxRounds)
 		rounds = maxRounds
 	}
-	rr := newRoundRunner(n, cfg)
+	rr := newRoundRunner(c, cfg)
 	for k := 1; k <= rounds; k++ {
 		shift := k
 		if scale > 1 {
 			shift = 1 + (k-1)*(p-1)/rounds
 		}
-		if err := rr.run(netsim.ShiftFlows(n.Endpoints, shift, bytesPerPeer)); err != nil {
+		if err := rr.run(netsim.ShiftFlows(c.Endpoints, shift, bytesPerPeer)); err != nil {
 			return SimResult{}, err
 		}
 	}

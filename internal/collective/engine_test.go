@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -20,7 +21,7 @@ func TestSimulateRingAllreduceBandwidth(t *testing.T) {
 	}
 	ring = r1
 	total := int64(8 << 20)
-	res, err := SimulateRingAllreduce(n, ring, total, false, netsim.DefaultConfig())
+	res, err := SimulateRingAllreduce(simcore.Of(n), ring, total, false, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,11 +41,11 @@ func TestSimulateBidirDoublesRing(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := int64(8 << 20)
-	uni, err := SimulateRingAllreduce(n, r1, total, false, netsim.DefaultConfig())
+	uni, err := SimulateRingAllreduce(simcore.Of(n), r1, total, false, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	bidir, err := SimulateRingAllreduce(n, r1, total, true, netsim.DefaultConfig())
+	bidir, err := SimulateRingAllreduce(simcore.Of(n), r1, total, true, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSimulateTwoRingsReachesOptimum(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := int64(16 << 20)
-	res, err := SimulateTwoRingsAllreduce(h.Network, r1, r2, total, netsim.DefaultConfig())
+	res, err := SimulateTwoRingsAllreduce(simcore.Of(h.Network), r1, r2, total, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSimulateTwoRingsReachesOptimum(t *testing.T) {
 		t.Errorf("two-rings allreduce bw = %.1f GB/s, want ≈100 (round-sync bound ≥55)", bw)
 	}
 	// It must clearly beat the single bidirectional ring.
-	single, err := SimulateRingAllreduce(h.Network, r1, total, true, netsim.DefaultConfig())
+	single, err := SimulateRingAllreduce(simcore.Of(h.Network), r1, total, true, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSimulateTorusAllreduceLatencyAdvantage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rings, err := SimulateTwoRingsAllreduce(h.Network, r1, r2, small, netsim.DefaultConfig())
+	rings, err := SimulateTwoRingsAllreduce(simcore.Of(h.Network), r1, r2, small, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestSimulatedMatchesScheduleModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := int64(4 << 20)
-	sim, err := SimulateTwoRingsAllreduce(h.Network, r1, r2, total, netsim.DefaultConfig())
+	sim, err := SimulateTwoRingsAllreduce(simcore.Of(h.Network), r1, r2, total, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestSimulatedMatchesScheduleModel(t *testing.T) {
 
 func TestSimulateAlltoallSampled(t *testing.T) {
 	h := tinyHx()
-	full, err := SimulateAlltoall(h.Network, 8<<10, 0, netsim.DefaultConfig())
+	full, err := SimulateAlltoall(simcore.Of(h.Network), 8<<10, 0, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	sampled, err := SimulateAlltoall(h.Network, 8<<10, 9, netsim.DefaultConfig())
+	sampled, err := SimulateAlltoall(simcore.Of(h.Network), 8<<10, 9, netsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +151,11 @@ func TestSimulateAlltoallSampled(t *testing.T) {
 
 func TestEngineErrors(t *testing.T) {
 	h := tinyHx()
-	if _, err := SimulateRingAllreduce(h.Network, h.Endpoints[:2], 1024, false, netsim.DefaultConfig()); err == nil {
+	if _, err := SimulateRingAllreduce(simcore.Of(h.Network), h.Endpoints[:2], 1024, false, netsim.DefaultConfig()); err == nil {
 		t.Error("tiny ring not rejected")
 	}
 	r1, r2, _ := TwoRingsOnHxMesh(h)
-	if _, err := SimulateTwoRingsAllreduce(h.Network, r1, r2[:10], 1024, netsim.DefaultConfig()); err == nil {
+	if _, err := SimulateTwoRingsAllreduce(simcore.Of(h.Network), r1, r2[:10], 1024, netsim.DefaultConfig()); err == nil {
 		t.Error("mismatched rings not rejected")
 	}
 }

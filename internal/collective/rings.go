@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -81,8 +83,10 @@ func EndpointOrderRing(n *topo.Network) []topo.NodeID {
 // the achieved allreduce bandwidth as a share of the theoretical optimum
 // (half the plane injection bandwidth). Ring algorithms send 2S bytes per
 // node for an S-byte allreduce at optimum inj/2 bandwidth, so the share
-// equals perNodeSendGBps / injGBps.
-func MeasureAllreduceShare(n *topo.Network, rings [][]topo.NodeID, bytesPerFlow int64, cfg netsim.Config, injGBps float64) (float64, error) {
+// equals perNodeSendGBps / injGBps. Passing the cluster's shared routing
+// table (may be nil) avoids rebuilding distance vectors across repeated
+// measurements.
+func MeasureAllreduceShare(c *simcore.Compiled, table *routing.Table, rings [][]topo.NodeID, bytesPerFlow int64, cfg netsim.Config, injGBps float64) (float64, error) {
 	var flows []netsim.Flow
 	for _, ring := range rings {
 		flows = append(flows, netsim.RingNeighborFlows(ring, bytesPerFlow, true)...)
@@ -90,7 +94,7 @@ func MeasureAllreduceShare(n *topo.Network, rings [][]topo.NodeID, bytesPerFlow 
 	if len(flows) == 0 {
 		return 0, fmt.Errorf("collective: no rings given")
 	}
-	res, err := netsim.New(n, nil, cfg).Run(flows)
+	res, err := netsim.New(c, table, cfg).Run(flows)
 	if err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"hammingmesh/internal/netsim"
 	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -114,7 +115,7 @@ func TestTwoRingsOnHxMeshMapping(t *testing.T) {
 	}
 	// Every consecutive pair must be within 3 links (accel-switch-accel at
 	// most, or 1 on-board link).
-	tab := routing.NewTable(h.Network)
+	tab := routing.NewTableNet(h.Network)
 	dist := func(a, b topo.NodeID) int { return tab.PathLen(a, b) }
 	if got := RingLinkStress(dist, r1); got > 3 {
 		t.Errorf("ring1 max edge distance = %d, want ≤3", got)
@@ -132,7 +133,7 @@ func TestMeasuredAllreduceShareHxMesh(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	share, err := MeasureAllreduceShare(h.Network, [][]topo.NodeID{r1, r2}, 256<<10, netsim.DefaultConfig(), 200)
+	share, err := MeasureAllreduceShare(simcore.Of(h.Network), nil, [][]topo.NodeID{r1, r2}, 256<<10, netsim.DefaultConfig(), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestMeasuredAllreduceShareTorus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	share, err := MeasureAllreduceShare(n, [][]topo.NodeID{r1, r2}, 256<<10, netsim.DefaultConfig(), 200)
+	share, err := MeasureAllreduceShare(simcore.Of(n), nil, [][]topo.NodeID{r1, r2}, 256<<10, netsim.DefaultConfig(), 200)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,12 @@
 // Package core is the public façade of the HammingMesh reproduction: it
-// ties together topology construction, routing, cost accounting, job
-// allocation, and the packet- and flow-level bandwidth evaluations behind
-// a single Cluster type. Examples and command-line tools build on this
-// package; specialized studies can reach into the internal packages
-// directly.
+// ties together topology construction, compilation to the flat-array
+// simulator representation (internal/simcore), routing, cost accounting,
+// job allocation, and the packet- and flow-level bandwidth evaluations
+// behind a single Cluster type. Examples and command-line tools build on
+// this package; specialized studies can reach into the internal packages
+// directly. A Cluster's compiled network and routing table are immutable
+// and concurrency-safe, so one Cluster can back many parallel experiments
+// (see internal/runner).
 package core
 
 import (
@@ -17,57 +20,68 @@ import (
 	"hammingmesh/internal/flowsim"
 	"hammingmesh/internal/netsim"
 	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
 // Cluster is one built network with its derived services.
 type Cluster struct {
 	Net   *topo.Network
+	Comp  *simcore.Compiled
 	Hx    *topo.HxMesh // non-nil for HxMesh/HyperX families
 	Table *routing.Table
 	Grid  *alloc.Grid // board allocator, non-nil for HxMesh families
 	LP    topo.LinkParams
 }
 
+// newCluster compiles the network and wires the shared services. It uses
+// simcore.Compile rather than the interning simcore.Of cache so that
+// throwaway clusters (benchmark loops, sweeps over many configurations)
+// can be garbage collected; sharing happens at the Cluster level (see
+// runner.Pool).
+func newCluster(n *topo.Network, hx *topo.HxMesh, grid *alloc.Grid, lp topo.LinkParams) *Cluster {
+	comp := simcore.Compile(n)
+	return &Cluster{
+		Net: n, Comp: comp, Hx: hx,
+		Table: routing.NewTable(comp),
+		Grid:  grid,
+		LP:    lp,
+	}
+}
+
 // NewHxMesh builds an a×b-board x×y HammingMesh cluster.
 func NewHxMesh(a, b, x, y int) *Cluster {
 	lp := topo.DefaultLinkParams()
 	h := topo.NewHxMesh(a, b, x, y, lp)
-	return &Cluster{
-		Net: h.Network, Hx: h,
-		Table: routing.NewTable(h.Network),
-		Grid:  alloc.NewGrid(x, y),
-		LP:    lp,
-	}
+	return newCluster(h.Network, h, alloc.NewGrid(x, y), lp)
 }
 
 // NewHyperX builds a 2D HyperX (Hx1Mesh) cluster.
 func NewHyperX(x, y int) *Cluster {
 	lp := topo.DefaultLinkParams()
 	h := topo.NewHyperX2D(x, y, lp)
-	return &Cluster{Net: h.Network, Hx: h, Table: routing.NewTable(h.Network),
-		Grid: alloc.NewGrid(x, y), LP: lp}
+	return newCluster(h.Network, h, alloc.NewGrid(x, y), lp)
 }
 
 // NewFatTree builds a fat-tree cluster with the given taper (0, 0.5, 0.75).
 func NewFatTree(endpoints int, taper float64) *Cluster {
 	lp := topo.DefaultLinkParams()
 	n := topo.NewFatTree(endpoints, topo.TaperedTree(taper), lp)
-	return &Cluster{Net: n, Table: routing.NewTable(n), LP: lp}
+	return newCluster(n, nil, nil, lp)
 }
 
 // NewTorus builds a 2D torus cluster of w×h accelerators on 2×2 boards.
 func NewTorus(w, h int) *Cluster {
 	lp := topo.DefaultLinkParams()
 	n := topo.NewTorus2D(w, h, 2, 2, lp)
-	return &Cluster{Net: n, Table: routing.NewTable(n), LP: lp}
+	return newCluster(n, nil, nil, lp)
 }
 
 // NewDragonfly builds a Dragonfly cluster.
 func NewDragonfly(cfg topo.DragonflyConfig) *Cluster {
 	cfg.LP = topo.DefaultLinkParams()
 	n := topo.NewDragonfly(cfg)
-	return &Cluster{Net: n, Table: routing.NewTable(n), LP: cfg.LP}
+	return newCluster(n, nil, nil, cfg.LP)
 }
 
 // Inventory returns the graph-derived equipment inventory.
@@ -93,8 +107,11 @@ func (c *Cluster) InjectionGBps() float64 {
 	}
 }
 
-// simInjection is the injection bandwidth of the *simulated* graph.
-func (c *Cluster) simInjection() float64 {
+// SimInjectionGBps is the injection bandwidth of the *simulated* graph:
+// one port per endpoint for the switched single-plane builds, four for the
+// direct topologies. Shares measured by the simulators normalize against
+// this value.
+func (c *Cluster) SimInjectionGBps() float64 {
 	if c.Net.Meta.Family == "fattree" || c.Net.Meta.Family == "dragonfly" {
 		return c.LP.GBps // one port per endpoint in the built plane
 	}
@@ -114,16 +131,17 @@ func (c *Cluster) AlltoallShare(nShifts int, seed uint64) (float64, error) {
 		// subflows through random intermediate routers.
 		cfg.ValiantPaths = 8
 	}
-	s := flowsim.New(c.Net, c.Table, cfg)
-	return s.AlltoallShare(nShifts, c.simInjection(), seed)
+	s := flowsim.New(c.Comp, c.Table, cfg)
+	return s.AlltoallShare(nShifts, c.SimInjectionGBps(), seed)
 }
 
 // AlltoallSharePacket measures the share with the packet simulator
-// (slower; use for small clusters and validation).
+// (slower; use for small clusters and validation). The runner's
+// AlltoallPacketShare parallelizes this sweep across a worker pool.
 func (c *Cluster) AlltoallSharePacket(bytes int64, nShifts int, seed int64) (float64, error) {
 	cfg := netsim.DefaultConfig()
 	cfg.Seed = seed
-	return netsim.AlltoallShare(c.Net, cfg, bytes, nShifts, c.simInjection(), seed)
+	return netsim.AlltoallShare(c.Comp, c.Table, cfg, bytes, nShifts, c.SimInjectionGBps(), seed)
 }
 
 // AllreduceShare measures the large-message ring-allreduce bandwidth as a
@@ -131,45 +149,60 @@ func (c *Cluster) AlltoallSharePacket(bytes int64, nShifts int, seed int64) (flo
 // Hamiltonian rings where the topology supports them and a single
 // endpoint-order ring otherwise.
 func (c *Cluster) AllreduceShare(bytesPerFlow int64) (float64, error) {
-	var rings [][]topo.NodeID
-	switch {
-	case c.Hx != nil:
-		r1, r2, err := collective.TwoRingsOnHxMesh(c.Hx)
-		if err != nil {
-			return 0, err
-		}
-		rings = [][]topo.NodeID{r1, r2}
-	case c.Net.Meta.Family == "torus":
-		w := c.Net.Meta.GlobalX * c.Net.Meta.BoardA
-		h := c.Net.Meta.GlobalY * c.Net.Meta.BoardB
-		r1, r2, err := collective.TwoRingsOnTorus(c.Net, w, h)
-		if err != nil {
-			return 0, err
-		}
-		rings = [][]topo.NodeID{r1, r2}
-	default:
-		rings = [][]topo.NodeID{collective.EndpointOrderRing(c.Net)}
+	rings, err := c.AllreduceRings()
+	if err != nil {
+		return 0, err
 	}
 	cfg := netsim.DefaultConfig()
-	share, err := collective.MeasureAllreduceShare(c.Net, rings, bytesPerFlow, cfg, c.simInjection())
+	share, err := collective.MeasureAllreduceShare(c.Comp, c.Table, rings, bytesPerFlow, cfg, c.SimInjectionGBps())
 	if err != nil {
 		return 0, err
 	}
 	return share, nil
 }
 
+// AllreduceRings returns the ring embedding used by AllreduceShare: two
+// edge-disjoint Hamiltonian rings on HxMesh/torus, the endpoint-order ring
+// elsewhere.
+func (c *Cluster) AllreduceRings() ([][]topo.NodeID, error) {
+	switch {
+	case c.Hx != nil:
+		r1, r2, err := collective.TwoRingsOnHxMesh(c.Hx)
+		if err != nil {
+			return nil, err
+		}
+		return [][]topo.NodeID{r1, r2}, nil
+	case c.Net.Meta.Family == "torus":
+		w := c.Net.Meta.GlobalX * c.Net.Meta.BoardA
+		h := c.Net.Meta.GlobalY * c.Net.Meta.BoardB
+		r1, r2, err := collective.TwoRingsOnTorus(c.Net, w, h)
+		if err != nil {
+			return nil, err
+		}
+		return [][]topo.NodeID{r1, r2}, nil
+	default:
+		return [][]topo.NodeID{collective.EndpointOrderRing(c.Net)}, nil
+	}
+}
+
 // PermutationGBps runs random-permutation traffic through the packet
 // simulator and returns per-endpoint receive bandwidths (Fig. 12).
 func (c *Cluster) PermutationGBps(bytes int64, seed int64) ([]float64, error) {
-	rng := rand.New(rand.NewSource(seed))
+	return c.PermutationGBpsCfg(netsim.DefaultConfig(), bytes, rand.New(rand.NewSource(seed)))
+}
+
+// PermutationGBpsCfg is PermutationGBps with an explicit simulator config
+// and permutation source; it defines the Fig. 12 metric (per-flow bytes
+// over the flow's own completion time) for both the serial API and the
+// runner's parallel sweep.
+func (c *Cluster) PermutationGBpsCfg(cfg netsim.Config, bytes int64, rng *rand.Rand) ([]float64, error) {
 	flows := netsim.PermutationFlows(c.Net.Endpoints, bytes, rng)
-	res, err := netsim.New(c.Net, c.Table, netsim.DefaultConfig()).Run(flows)
+	res, err := netsim.New(c.Comp, c.Table, cfg).Run(flows)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, 0, len(flows))
 	for i, f := range flows {
-		// Per-flow bandwidth over its own completion time.
 		out = append(out, float64(f.Bytes)/res.FlowFinish[i])
 	}
 	return out, nil

@@ -5,6 +5,12 @@
 // adaptive routing), and rates rise uniformly until links saturate, the
 // classic progressive-filling algorithm for max-min fairness.
 //
+// The solver runs on the compiled flat-array network (internal/simcore):
+// channel ids are compiled port ids, parallel links between a node pair are
+// spread round-robin through the precompiled link groups, and sampled paths
+// are deduplicated by an FNV-1a hash of their node ids — no map is keyed by
+// node or port ids and path sampling does not allocate string keys.
+//
 // The solver scales to the paper's 16k-endpoint clusters where packet
 // simulation of 1 MiB-per-peer alltoall would need billions of packet
 // events (the paper itself spent 0.6M core hours in SST); cross-validation
@@ -16,6 +22,7 @@ import (
 	"math"
 
 	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -38,43 +45,49 @@ type Config struct {
 	Seed uint64
 }
 
-// Solver holds per-network state reusable across Solve calls.
+// Solver holds per-network state reusable across Solve calls. It is not
+// safe for concurrent use (the round-robin cursors mutate), but solvers are
+// cheap: all heavy state lives in the shared Compiled network.
 type Solver struct {
-	net   *topo.Network
+	comp  *simcore.Compiled
 	table *routing.Table
 	cfg   Config
 
-	// adjacency: ports[u] lists (portIdx, to) pairs; chanIdx as in netsim.
-	chanCap   []float64
-	chanOf    [][]int32
-	parallel  map[int64][]int32 // key u<<32|v -> channel ids (parallel links)
-	rr        map[int64]int     // round-robin cursor per node pair
-	switchIdx []topo.NodeID     // cached switch ids for Valiant midpoints
+	// rr[g] is the round-robin cursor of parallel-link group g (unsigned
+	// so unbounded increments wrap instead of going negative).
+	rr []uint32
 }
 
-// New creates a solver; table may be nil.
-func New(n *topo.Network, table *routing.Table, cfg Config) *Solver {
+// New creates a solver over a compiled network; table may be nil.
+func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Solver {
 	if table == nil {
-		table = routing.NewTable(n)
+		table = routing.NewTable(c)
 	}
 	if cfg.PathsPerFlow <= 0 {
 		cfg.PathsPerFlow = 4
 	}
-	s := &Solver{net: n, table: table, cfg: cfg,
-		parallel: make(map[int64][]int32), rr: make(map[int64]int)}
-	s.chanOf = make([][]int32, len(n.Nodes))
-	for i := range n.Nodes {
-		ports := n.Nodes[i].Ports
-		s.chanOf[i] = make([]int32, len(ports))
-		for pi, p := range ports {
-			ci := int32(len(s.chanCap))
-			s.chanOf[i][pi] = ci
-			s.chanCap = append(s.chanCap, p.GBps)
-			key := int64(i)<<32 | int64(p.To)
-			s.parallel[key] = append(s.parallel[key], ci)
-		}
+	return &Solver{comp: c, table: table, cfg: cfg, rr: make([]uint32, len(c.GroupOff)-1)}
+}
+
+// NewNet creates a solver straight from a network, compiling it through the
+// simcore cache.
+func NewNet(n *topo.Network, table *routing.Table, cfg Config) *Solver {
+	return New(simcore.Of(n), table, cfg)
+}
+
+// pathHash is an FNV-1a style hash over the node ids of a path, used to
+// deduplicate sampled paths without building string keys.
+func pathHash(path []topo.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range path {
+		h ^= uint64(uint32(v))
+		h *= prime64
 	}
-	return s
+	return h
 }
 
 // Solve returns the max-min fair rate (GB/s) of each flow.
@@ -84,12 +97,13 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 		links []int32
 	}
 	var subs []subflow
-	addPath := func(fi int, path []topo.NodeID, seen map[string]bool) {
-		key := fmt.Sprint(path)
-		if seen[key] {
+	seen := make(map[uint64]struct{}, s.cfg.PathsPerFlow+s.cfg.ValiantPaths)
+	addPath := func(fi int, path []topo.NodeID) {
+		key := pathHash(path)
+		if _, dup := seen[key]; dup {
 			return
 		}
-		seen[key] = true
+		seen[key] = struct{}{}
 		links := make([]int32, 0, len(path)-1)
 		for i := 0; i+1 < len(path); i++ {
 			links = append(links, s.pickChannel(path[i], path[i+1]))
@@ -100,9 +114,9 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 		if f.Src == f.Dst {
 			return nil, fmt.Errorf("flowsim: flow %d is a self-flow", fi)
 		}
-		seen := map[string]bool{}
+		clear(seen)
 		for k := 0; k < s.cfg.PathsPerFlow; k++ {
-			addPath(fi, s.table.SamplePath(f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919), seen)
+			addPath(fi, s.table.SamplePath(f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919))
 		}
 		for k := 0; k < s.cfg.ValiantPaths; k++ {
 			mid := s.randomSwitch(s.cfg.Seed + uint64(fi)*977 + uint64(k)*31337)
@@ -115,18 +129,17 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 				continue
 			}
 			path := append(append([]topo.NodeID{}, head...), tail[1:]...)
-			addPath(fi, path, seen)
+			addPath(fi, path)
 		}
 	}
 	// Progressive filling.
-	nSubsPerFlow := make([]float64, len(flows))
-	for _, sf := range subs {
-		nSubsPerFlow[sf.flow]++
+	nLinks := s.comp.NumPorts()
+	remCap := make([]float64, nLinks)
+	for i := range remCap {
+		remCap[i] = s.comp.Ports[i].GBps
 	}
-	remCap := make([]float64, len(s.chanCap))
-	copy(remCap, s.chanCap)
 	active := make([]bool, len(subs))
-	activeOnLink := make([]int32, len(s.chanCap))
+	activeOnLink := make([]int32, nLinks)
 	for i := range subs {
 		active[i] = true
 		for _, l := range subs[i].links {
@@ -136,7 +149,7 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 	rates := make([]float64, len(subs))
 	nActive := len(subs)
 	for iter := 0; nActive > 0; iter++ {
-		if iter > len(s.chanCap)+len(subs)+10 {
+		if iter > nLinks+len(subs)+10 {
 			return nil, fmt.Errorf("flowsim: water-filling did not converge")
 		}
 		// Smallest headroom per active subflow across loaded links.
@@ -189,29 +202,24 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 
 // randomSwitch picks a deterministic pseudo-random switch node.
 func (s *Solver) randomSwitch(seed uint64) topo.NodeID {
-	if s.switchIdx == nil {
-		for i := range s.net.Nodes {
-			if s.net.Nodes[i].Kind == topo.Switch {
-				s.switchIdx = append(s.switchIdx, topo.NodeID(i))
-			}
-		}
-	}
-	if len(s.switchIdx) == 0 {
+	sw := s.comp.Switches
+	if len(sw) == 0 {
 		return topo.None
 	}
 	seed = seed*6364136223846793005 + 1442695040888963407
-	return s.switchIdx[int(seed>>33)%len(s.switchIdx)]
+	return sw[int(seed>>33)%len(sw)]
 }
 
-// pickChannel chooses among parallel links between u and v round-robin.
+// pickChannel chooses among parallel links between u and v round-robin
+// through the precompiled link groups.
 func (s *Solver) pickChannel(u, v topo.NodeID) int32 {
-	key := int64(u)<<32 | int64(v)
-	chans := s.parallel[key]
-	if len(chans) == 0 {
+	g := s.comp.GroupTo(int32(u), int32(v))
+	if g < 0 {
 		panic(fmt.Sprintf("flowsim: no link %d->%d", u, v))
 	}
-	c := chans[s.rr[key]%len(chans)]
-	s.rr[key]++
+	chans := s.comp.GroupMembers(g)
+	c := chans[s.rr[g]%uint32(len(chans))]
+	s.rr[g]++
 	return c
 }
 
@@ -236,7 +244,7 @@ func ShiftFlows(endpoints []topo.NodeID, shift int) []Flow {
 // per-endpoint bandwidth is therefore the harmonic mean across shifts of
 // each shift's *mean* max-min flow rate (not its slowest flow).
 func (s *Solver) AlltoallShare(nShifts int, injectGBps float64, seed uint64) (float64, error) {
-	p := len(s.net.Endpoints)
+	p := s.comp.NumEndpoints()
 	if p < 2 {
 		return 0, fmt.Errorf("flowsim: need ≥2 endpoints")
 	}
@@ -248,7 +256,7 @@ func (s *Solver) AlltoallShare(nShifts int, injectGBps float64, seed uint64) (fl
 	for k := 0; k < nShifts; k++ {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		shift := 1 + int(rng>>33)%(p-1)
-		rates, err := s.Solve(ShiftFlows(s.net.Endpoints, shift))
+		rates, err := s.Solve(ShiftFlows(s.comp.Endpoints, shift))
 		if err != nil {
 			return 0, err
 		}
@@ -270,7 +278,7 @@ func (s *Solver) AlltoallShare(nShifts int, injectGBps float64, seed uint64) (fl
 // PermutationRates solves one random permutation and returns per-flow
 // rates (GB/s); used for the Fig. 12 bandwidth distribution.
 func (s *Solver) PermutationRates(perm []int) ([]float64, error) {
-	eps := s.net.Endpoints
+	eps := s.comp.Endpoints
 	flows := make([]Flow, 0, len(perm))
 	for i, j := range perm {
 		if i == j {

@@ -13,7 +13,7 @@ func lp() topo.LinkParams { return topo.DefaultLinkParams() }
 
 func TestSingleFlowLineRate(t *testing.T) {
 	n := topo.NewFatTree(64, topo.NonblockingTree(), lp())
-	s := New(n, nil, Config{})
+	s := NewNet(n, nil, Config{})
 	rates, err := s.Solve([]Flow{{Src: n.Endpoints[0], Dst: n.Endpoints[33]}})
 	if err != nil {
 		t.Fatal(err)
@@ -25,7 +25,7 @@ func TestSingleFlowLineRate(t *testing.T) {
 
 func TestSharedLastLink(t *testing.T) {
 	n := topo.NewFatTree(64, topo.NonblockingTree(), lp())
-	s := New(n, nil, Config{})
+	s := NewNet(n, nil, Config{})
 	rates, err := s.Solve([]Flow{
 		{Src: n.Endpoints[0], Dst: n.Endpoints[5]},
 		{Src: n.Endpoints[1], Dst: n.Endpoints[5]},
@@ -44,7 +44,7 @@ func TestMaxMinUnevenShare(t *testing.T) {
 	// Three flows: two share a destination, one is alone. Max-min must
 	// give 25/25/50.
 	n := topo.NewFatTree(64, topo.NonblockingTree(), lp())
-	s := New(n, nil, Config{})
+	s := NewNet(n, nil, Config{})
 	rates, err := s.Solve([]Flow{
 		{Src: n.Endpoints[0], Dst: n.Endpoints[5]},
 		{Src: n.Endpoints[1], Dst: n.Endpoints[5]},
@@ -73,7 +73,7 @@ func TestPermutationMatchesNetsim(t *testing.T) {
 			perm[i], perm[j] = perm[j], perm[i]
 		}
 	}
-	s := New(h.Network, nil, Config{Seed: 2})
+	s := NewNet(h.Network, nil, Config{Seed: 2})
 	rates, err := s.PermutationRates(perm)
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestPermutationMatchesNetsim(t *testing.T) {
 	for i, j := range perm {
 		flows[i] = netsim.Flow{Src: h.Endpoints[i], Dst: h.Endpoints[j], Bytes: 512 << 10}
 	}
-	res, err := netsim.New(h.Network, nil, netsim.DefaultConfig()).Run(flows)
+	res, err := netsim.NewNet(h.Network, nil, netsim.DefaultConfig()).Run(flows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestAlltoallShareTaperedFatTree(t *testing.T) {
 	// A 75%-tapered fat tree should deliver roughly its taper ratio
 	// (13/51 ≈ 25%) of injection bandwidth for alltoall.
 	n := topo.NewFatTree(256, topo.TaperedTree(0.75), lp())
-	s := New(n, nil, Config{})
+	s := NewNet(n, nil, Config{})
 	share, err := s.AlltoallShare(8, 50, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +114,7 @@ func TestAlltoallShareTaperedFatTree(t *testing.T) {
 
 func TestAlltoallShareNonblockingNearFull(t *testing.T) {
 	n := topo.NewFatTree(128, topo.NonblockingTree(), lp())
-	s := New(n, nil, Config{})
+	s := NewNet(n, nil, Config{})
 	share, err := s.AlltoallShare(8, 50, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestAlltoallShareNonblockingNearFull(t *testing.T) {
 
 func TestSelfFlowRejected(t *testing.T) {
 	n := topo.NewFatTree(8, topo.NonblockingTree(), lp())
-	s := New(n, nil, Config{})
+	s := NewNet(n, nil, Config{})
 	if _, err := s.Solve([]Flow{{Src: n.Endpoints[0], Dst: n.Endpoints[0]}}); err == nil {
 		t.Error("self-flow not rejected")
 	}
@@ -137,7 +137,7 @@ func TestRatesConserveCapacity(t *testing.T) {
 	// loads from the solver's own path sampling by re-running with the
 	// same seed and checking aggregate rate against total capacity.
 	h := topo.NewHxMesh(2, 2, 4, 4, lp())
-	s := New(h.Network, nil, Config{Seed: 5})
+	s := NewNet(h.Network, nil, Config{Seed: 5})
 	flows := ShiftFlows(h.Endpoints, 7)
 	rates, err := s.Solve(flows)
 	if err != nil {
@@ -162,12 +162,12 @@ func TestValiantPathsHelpDragonflyShift(t *testing.T) {
 	// the few direct group-pair links; Valiant subflows must raise the
 	// alltoall share (the effect behind the paper's UGAL-L choice).
 	n := topo.NewDragonfly(topo.DragonflyConfig{A: 8, P: 4, H: 4, G: 9, LP: lp()})
-	minimal := New(n, nil, Config{Seed: 3})
+	minimal := NewNet(n, nil, Config{Seed: 3})
 	sMin, err := minimal.AlltoallShare(4, 50, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	valiant := New(n, nil, Config{Seed: 3, ValiantPaths: 8})
+	valiant := NewNet(n, nil, Config{Seed: 3, ValiantPaths: 8})
 	sVal, err := valiant.AlltoallShare(4, 50, 3)
 	if err != nil {
 		t.Fatal(err)

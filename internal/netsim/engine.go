@@ -5,6 +5,12 @@
 // 400 Gb/s links (50 GB/s = 50 B/ns), 20 ns cable / 1 ns PCB latency, and
 // per-hop input/output buffering latency.
 //
+// The simulator runs on the compiled flat-array network (internal/simcore):
+// a channel is exactly one compiled port, so its id doubles as the index of
+// all mutable per-channel state, and every hot-loop lookup — candidate
+// output ports, buffer occupancy, blocked-channel wakeups, per-endpoint
+// receive accounting — is an array index rather than a map access.
+//
 // Two flow-control modes are supported: IdealBuffers (unbounded switch
 // queues, trivially deadlock-free; congestion still forms through link
 // serialization) and CreditFC (finite switch input buffers with
@@ -20,6 +26,7 @@ import (
 	"math/rand"
 
 	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -86,8 +93,11 @@ type Result struct {
 	TotalBytes int64
 	// FlowFinish[i] is the delivery time of the last packet of flow i.
 	FlowFinish []float64
-	// PerEndpointRecv maps endpoint node id -> received bytes.
-	PerEndpointRecv map[topo.NodeID]int64
+	// RecvByRank[r] is the number of bytes received by the endpoint of
+	// rank r (node id Endpoints[r]).
+	RecvByRank []int64
+	// Endpoints lists the endpoint node ids in rank order.
+	Endpoints []topo.NodeID
 	// Deadlocked is set when CreditFC stalls with packets undelivered.
 	Deadlocked bool
 	// Events is the number of processed simulator events.
@@ -105,12 +115,21 @@ func (r *Result) AggregateGBps() float64 {
 	return float64(r.TotalBytes) / r.Makespan // bytes/ns == GB/s
 }
 
+// EndpointGBps is the delivered receive bandwidth of one endpoint.
+type EndpointGBps struct {
+	Node topo.NodeID
+	GBps float64
+}
+
 // PerEndpointGBps returns delivered bandwidth per receiving endpoint over
-// the makespan.
-func (r *Result) PerEndpointGBps() map[topo.NodeID]float64 {
-	out := make(map[topo.NodeID]float64, len(r.PerEndpointRecv))
-	for id, b := range r.PerEndpointRecv {
-		out[id] = float64(b) / r.Makespan
+// the makespan, in deterministic endpoint-rank order.
+func (r *Result) PerEndpointGBps() []EndpointGBps {
+	out := make([]EndpointGBps, 0, len(r.RecvByRank))
+	for rank, b := range r.RecvByRank {
+		if b == 0 {
+			continue
+		}
+		out = append(out, EndpointGBps{Node: r.Endpoints[rank], GBps: float64(b) / r.Makespan})
 	}
 	return out
 }
@@ -152,35 +171,32 @@ func (h *eventHeap) Pop() any {
 	return x
 }
 
-// channel is one direction of a link.
+// channel holds the mutable state of one link direction; its index is the
+// compiled port id, whose static attributes live in comp.Ports.
 type channel struct {
-	from, to int32
-	gbps     float64
-	latency  float64
-	busy     bool
-	blocked  bool // waiting for downstream buffer space (CreditFC)
-	queue    []packet
-	queuedB  int64
+	busy    bool
+	blocked bool // waiting for downstream buffer space (CreditFC)
+	queue   []packet
+	queuedB int64
 }
 
-// Sim is a single simulation instance. It is not safe for concurrent use.
+// Sim is a single simulation instance. It is not safe for concurrent use,
+// but many Sims may share one Compiled network and routing Table.
 type Sim struct {
-	net   *topo.Network
+	comp  *simcore.Compiled
 	table *routing.Table
 	cfg   Config
 
-	channels []channel
-	chanOf   [][]int32 // chanOf[node][port] -> channel index
+	channels []channel // indexed by compiled port id
 
-	// CreditFC state: input-buffer occupancy per switch per VC, and
-	// channels waiting for space, keyed by node*MaxVCs+vc.
-	occ     [][routing.MaxVCs]int64
-	waiters map[int64][]int32
+	// CreditFC state, indexed by node*MaxVCs+vc: input-buffer occupancy
+	// per switch per VC, and channels waiting for space.
+	occ     []int64
+	waiters [][]int32
 
 	flows     []Flow
 	flowSent  []int64
 	flowRecvd []int64
-	switchIdx []int32 // cached switch node ids for UGAL midpoints
 
 	events eventHeap
 	rng    *rand.Rand
@@ -188,11 +204,11 @@ type Sim struct {
 	res Result
 }
 
-// New creates a simulator over a built network using minimal adaptive
+// New creates a simulator over a compiled network using minimal adaptive
 // routing from the given table (a fresh table is created if nil).
-func New(n *topo.Network, table *routing.Table, cfg Config) *Sim {
+func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Sim {
 	if table == nil {
-		table = routing.NewTable(n)
+		table = routing.NewTable(c)
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 16
@@ -200,36 +216,44 @@ func New(n *topo.Network, table *routing.Table, cfg Config) *Sim {
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 500_000_000
 	}
-	s := &Sim{net: n, table: table, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
-	s.chanOf = make([][]int32, len(n.Nodes))
-	for i := range n.Nodes {
-		ports := n.Nodes[i].Ports
-		s.chanOf[i] = make([]int32, len(ports))
-		for pi, p := range ports {
-			s.chanOf[i][pi] = int32(len(s.channels))
-			s.channels = append(s.channels, channel{
-				from: int32(i), to: int32(p.To), gbps: p.GBps, latency: p.Latency,
-			})
-		}
-	}
+	s := &Sim{comp: c, table: table, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s.channels = make([]channel, c.NumPorts())
 	if cfg.Mode == CreditFC {
-		s.occ = make([][routing.MaxVCs]int64, len(n.Nodes))
-		s.waiters = make(map[int64][]int32)
+		s.occ = make([]int64, c.NumNodes()*routing.MaxVCs)
+		s.waiters = make([][]int32, c.NumNodes()*routing.MaxVCs)
 	}
 	return s
+}
+
+// NewNet creates a simulator straight from a network, compiling it through
+// the simcore cache.
+func NewNet(n *topo.Network, table *routing.Table, cfg Config) *Sim {
+	return New(simcore.Of(n), table, cfg)
 }
 
 // Run simulates the given flows to completion and returns the result.
 func (s *Sim) Run(flows []Flow) (*Result, error) {
 	for fi, f := range flows {
-		if f.Src == f.Dst && f.Bytes > 0 {
+		if f.Bytes <= 0 {
+			continue
+		}
+		if f.Src == f.Dst {
 			return nil, fmt.Errorf("netsim: flow %d is a self-flow", fi)
+		}
+		// Receive accounting is dense by endpoint rank, so only endpoints
+		// can terminate flows.
+		if s.comp.RankOf[f.Dst] < 0 {
+			return nil, fmt.Errorf("netsim: flow %d destination %d is not an endpoint", fi, f.Dst)
 		}
 	}
 	s.flows = flows
 	s.flowSent = make([]int64, len(flows))
 	s.flowRecvd = make([]int64, len(flows))
-	s.res = Result{FlowFinish: make([]float64, len(flows)), PerEndpointRecv: make(map[topo.NodeID]int64)}
+	s.res = Result{
+		FlowFinish: make([]float64, len(flows)),
+		RecvByRank: make([]int64, s.comp.NumEndpoints()),
+		Endpoints:  s.comp.Endpoints,
+	}
 	if s.cfg.CollectLinkStats {
 		s.res.LinkBytes = make([]int64, len(s.channels))
 	}
@@ -296,7 +320,7 @@ func (s *Sim) arrive(ev event) {
 	if topo.NodeID(node) == f.Dst {
 		s.flowRecvd[pkt.flow] += int64(pkt.size)
 		s.res.TotalBytes += int64(pkt.size)
-		s.res.PerEndpointRecv[f.Dst] += int64(pkt.size)
+		s.res.RecvByRank[s.comp.RankOf[node]] += int64(pkt.size)
 		if ev.t > s.res.Makespan {
 			s.res.Makespan = ev.t
 		}
@@ -324,13 +348,13 @@ func (s *Sim) arrive(ev event) {
 		// Charge this node's input buffer (switches only; endpoints are
 		// amply buffered NICs) under the arrival VC; the slot is released
 		// when the packet is popped for its next hop.
-		if ev.ch >= 0 && s.net.Nodes[node].Kind == topo.Switch {
-			s.occ[node][pkt.vc] += int64(pkt.size)
+		if ev.ch >= 0 && s.comp.IsSwitch(node) {
+			s.occ[int(node)*routing.MaxVCs+int(pkt.vc)] += int64(pkt.size)
 			pkt.relVC = pkt.vc
 		} else {
 			pkt.relVC = -1
 		}
-		pkt.vc = routing.VCPolicy(s.net, topo.NodeID(node), topo.NodeID(ch.to), pkt.vc)
+		pkt.vc = routing.VCPolicy(s.comp, node, s.comp.Ports[ci].To, pkt.vc)
 	}
 	ch.queue = append(ch.queue, pkt)
 	ch.queuedB += int64(pkt.size)
@@ -340,44 +364,23 @@ func (s *Sim) arrive(ev event) {
 }
 
 // pickOutput selects among minimal candidate ports per the Choice policy.
+// The candidates come precompiled from the routing table (port order), so
+// the per-packet work is a scan over 1-4 channel ids.
 func (s *Sim) pickOutput(node, dst int32) int32 {
-	d := s.table.Dist(topo.NodeID(dst))
-	want := d[node] - 1
-	ports := s.net.Nodes[node].Ports
-	chans := s.chanOf[node]
+	cands := s.table.Candidates(node, topo.NodeID(dst))
 	switch s.cfg.Choice {
 	case FirstCandidate:
-		for pi := range ports {
-			if d[ports[pi].To] == want {
-				return chans[pi]
-			}
+		if len(cands) > 0 {
+			return cands[0]
 		}
 	case RandomCandidate:
-		n := 0
-		for pi := range ports {
-			if d[ports[pi].To] == want {
-				n++
-			}
-		}
-		if n > 0 {
-			pick := s.rng.Intn(n)
-			for pi := range ports {
-				if d[ports[pi].To] == want {
-					if pick == 0 {
-						return chans[pi]
-					}
-					pick--
-				}
-			}
+		if len(cands) > 0 {
+			return cands[s.rng.Intn(len(cands))]
 		}
 	default: // LeastQueued
 		best := int32(-1)
 		var bestQ int64
-		for pi := range ports {
-			if d[ports[pi].To] != want {
-				continue
-			}
-			ci := chans[pi]
+		for _, ci := range cands {
 			q := s.channels[ci].queuedB
 			if s.channels[ci].busy {
 				q++ // prefer an idle channel on ties
@@ -400,11 +403,12 @@ func (s *Sim) startTransmit(ci int32, t float64) {
 	if ch.busy || ch.blocked || len(ch.queue) == 0 {
 		return
 	}
+	p := &s.comp.Ports[ci]
 	pkt := ch.queue[0]
-	if s.cfg.Mode == CreditFC && s.net.Nodes[ch.to].Kind == topo.Switch {
-		if s.occ[ch.to][pkt.vc]+int64(pkt.size) > int64(s.cfg.LP.BufferB) {
+	if s.cfg.Mode == CreditFC && s.comp.IsSwitch(p.To) {
+		key := int(p.To)*routing.MaxVCs + int(pkt.vc)
+		if s.occ[key]+int64(pkt.size) > int64(s.cfg.LP.BufferB) {
 			ch.blocked = true
-			key := int64(ch.to)*routing.MaxVCs + int64(pkt.vc)
 			s.waiters[key] = append(s.waiters[key], ci)
 			return
 		}
@@ -412,31 +416,31 @@ func (s *Sim) startTransmit(ci int32, t float64) {
 	ch.queue = ch.queue[1:]
 	ch.queuedB -= int64(pkt.size)
 	if s.cfg.Mode == CreditFC && pkt.relVC >= 0 {
-		s.releaseBufferAt(ch.from, pkt.relVC, int64(pkt.size), t)
+		s.releaseBufferAt(s.comp.Owner[ci], pkt.relVC, int64(pkt.size), t)
 		pkt.relVC = -1
 	}
-	ser := float64(pkt.size) / ch.gbps
+	ser := float64(pkt.size) / p.GBps
 	if s.cfg.CollectLinkStats {
 		s.res.LinkBytes[ci] += int64(pkt.size)
 	}
 	ch.busy = true
 	heap.Push(&s.events, event{t: t + ser, kind: evFree, ch: ci})
 	heap.Push(&s.events, event{
-		t: t + ser + ch.latency + s.cfg.LP.SwitchNS, kind: evArrive,
-		node: ch.to, ch: ci, pkt: pkt,
+		t: t + ser + p.Latency + s.cfg.LP.SwitchNS, kind: evArrive,
+		node: p.To, ch: ci, pkt: pkt,
 	})
 }
 
 // releaseBufferAt returns buffer space at (node, vc) and wakes channels
 // blocked on that buffer.
 func (s *Sim) releaseBufferAt(node int32, vc int8, size int64, t float64) {
-	s.occ[node][vc] -= size
-	key := int64(node)*routing.MaxVCs + int64(vc)
+	key := int(node)*routing.MaxVCs + int(vc)
+	s.occ[key] -= size
 	ws := s.waiters[key]
 	if len(ws) == 0 {
 		return
 	}
-	delete(s.waiters, key)
+	s.waiters[key] = nil
 	for _, wci := range ws {
 		s.channels[wci].blocked = false
 		s.startTransmit(wci, t)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -14,7 +15,7 @@ func TestSingleFlowFatTree(t *testing.T) {
 	// One 1 MiB flow through a nonblocking fat tree must achieve close to
 	// the 50 GB/s link rate (store-and-forward pipelining across 4 hops).
 	n := topo.NewFatTree(64, topo.NonblockingTree(), lp())
-	sim := New(n, nil, DefaultConfig())
+	sim := NewNet(n, nil, DefaultConfig())
 	bytes := int64(1 << 20)
 	res, err := sim.Run([]Flow{{Src: n.Endpoints[0], Dst: n.Endpoints[63], Bytes: bytes}})
 	if err != nil {
@@ -36,7 +37,7 @@ func TestTwoFlowsShareLink(t *testing.T) {
 	// Two flows into the same destination must halve per-flow bandwidth on
 	// the last link.
 	n := topo.NewFatTree(64, topo.NonblockingTree(), lp())
-	sim := New(n, nil, DefaultConfig())
+	sim := NewNet(n, nil, DefaultConfig())
 	bytes := int64(1 << 20)
 	res, err := sim.Run([]Flow{
 		{Src: n.Endpoints[0], Dst: n.Endpoints[5], Bytes: bytes},
@@ -53,7 +54,7 @@ func TestTwoFlowsShareLink(t *testing.T) {
 
 func TestZeroByteFlowAndValidation(t *testing.T) {
 	n := topo.NewFatTree(8, topo.NonblockingTree(), lp())
-	sim := New(n, nil, DefaultConfig())
+	sim := NewNet(n, nil, DefaultConfig())
 	res, err := sim.Run([]Flow{{Src: n.Endpoints[0], Dst: n.Endpoints[1], Bytes: 0}})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +71,7 @@ func TestPermutationNonblockingFatTree(t *testing.T) {
 	// Random permutation on a nonblocking fat tree with adaptive routing
 	// should deliver most of the injection bandwidth per endpoint.
 	n := topo.NewFatTree(128, topo.NonblockingTree(), lp())
-	sim := New(n, nil, DefaultConfig())
+	sim := NewNet(n, nil, DefaultConfig())
 	rng := rand.New(rand.NewSource(42))
 	flows := PermutationFlows(n.Endpoints, 256<<10, rng)
 	res, err := sim.Run(flows)
@@ -91,7 +92,7 @@ func TestRingNeighborTorusFullBandwidth(t *testing.T) {
 	for i := range ring {
 		ring[i] = n.Endpoints[i] // first row, consecutive gx
 	}
-	sim := New(n, nil, DefaultConfig())
+	sim := NewNet(n, nil, DefaultConfig())
 	res, err := sim.Run(RingNeighborFlows(ring, 512<<10, false))
 	if err != nil {
 		t.Fatal(err)
@@ -163,11 +164,11 @@ func TestCreditFCMatchesIdealUnderLightLoad(t *testing.T) {
 	cfgI := DefaultConfig()
 	cfgC := DefaultConfig()
 	cfgC.Mode = CreditFC
-	resI, err := New(n, nil, cfgI).Run(flows)
+	resI, err := NewNet(n, nil, cfgI).Run(flows)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resC, err := New(n, nil, cfgC).Run(flows)
+	resC, err := NewNet(n, nil, cfgC).Run(flows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestCreditFCPermutationCompletes(t *testing.T) {
 	cfg.LP.BufferB = 64 << 10 // small buffers to exercise backpressure
 	rng := rand.New(rand.NewSource(5))
 	flows := PermutationFlows(h.Endpoints, 128<<10, rng)
-	res, err := New(h.Network, nil, cfg).Run(flows)
+	res, err := NewNet(h.Network, nil, cfg).Run(flows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +213,11 @@ func TestAdaptiveBeatsDeterministic(t *testing.T) {
 	cfgA := DefaultConfig()
 	cfgD := DefaultConfig()
 	cfgD.Choice = FirstCandidate
-	resA, err := New(h.Network, nil, cfgA).Run(flows)
+	resA, err := NewNet(h.Network, nil, cfgA).Run(flows)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resD, err := New(h.Network, nil, cfgD).Run(flows)
+	resD, err := NewNet(h.Network, nil, cfgD).Run(flows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestAlltoallShareSmallHxMesh(t *testing.T) {
 	// A 4x4 Hx2Mesh alltoall should land between the asymptotic bound
 	// (25%) and full injection; small clusters exceed the bound (§V-A1a).
 	h := topo.NewHxMesh(2, 2, 4, 4, lp())
-	share, err := AlltoallShare(h.Network, DefaultConfig(), 256<<10, 6, 4*50.0, 3)
+	share, err := AlltoallShare(simcore.Of(h.Network), nil, DefaultConfig(), 256<<10, 6, 4*50.0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,12 +240,17 @@ func TestAlltoallShareSmallHxMesh(t *testing.T) {
 }
 
 func TestResultAccessors(t *testing.T) {
-	r := Result{Makespan: 1000, TotalBytes: 50000, PerEndpointRecv: map[topo.NodeID]int64{3: 50000}}
+	r := Result{
+		Makespan: 1000, TotalBytes: 50000,
+		RecvByRank: []int64{0, 50000},
+		Endpoints:  []topo.NodeID{2, 3},
+	}
 	if got := r.AggregateGBps(); got != 50 {
 		t.Errorf("AggregateGBps = %f, want 50", got)
 	}
-	if got := r.PerEndpointGBps()[3]; got != 50 {
-		t.Errorf("PerEndpointGBps = %f, want 50", got)
+	per := r.PerEndpointGBps()
+	if len(per) != 1 || per[0].Node != 3 || per[0].GBps != 50 {
+		t.Errorf("PerEndpointGBps = %v, want [{3 50}]", per)
 	}
 	var empty Result
 	if empty.AggregateGBps() != 0 {
@@ -256,11 +262,11 @@ func TestAlltoallShareConcurrent(t *testing.T) {
 	// Concurrent shifts on a direct topology must beat the serialized
 	// single-shift measurement (path diversity needs many destinations).
 	n := topo.NewHyperXDirect(8, 8, 4, lp())
-	serial, err := AlltoallShare(n, DefaultConfig(), 64<<10, 4, 200, 3)
+	serial, err := AlltoallShare(simcore.Of(n), nil, DefaultConfig(), 64<<10, 4, 200, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	conc, err := AlltoallShareConcurrent(n, DefaultConfig(), 16<<10, 8, 200, 3)
+	conc, err := AlltoallShareConcurrent(simcore.Of(n), nil, DefaultConfig(), 16<<10, 8, 200, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package netsim
 import (
 	"math/rand"
 
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -61,6 +63,22 @@ func RingNeighborFlows(ring []topo.NodeID, bytes int64, bidirectional bool) []Fl
 	return flows
 }
 
+// SampleShifts returns nShifts pseudo-random shift values in [1, p-1]
+// (repeats allowed, matching the paper's sampled-iteration estimator). The
+// serial AlltoallShare sweep and the runner-parallel sweep share this
+// sequence, so their results are identical for equal seeds.
+func SampleShifts(p, nShifts int, seed int64) []int {
+	if nShifts <= 0 || nShifts > p-1 {
+		nShifts = p - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, nShifts)
+	for k := range out {
+		out[k] = 1 + rng.Intn(p-1)
+	}
+	return out
+}
+
 // AlltoallShareConcurrent estimates the global (alltoall) bandwidth share
 // by simulating window concurrent shift iterations in one run: the
 // paper's balanced-shift alltoall has no barriers, so several shifts are
@@ -69,23 +87,24 @@ func RingNeighborFlows(ring []topo.NodeID, bytes int64, bidirectional bool) []Fl
 // single permutation cannot use the path diversity. bytesPerPeer is the
 // per-destination message size; the share is per-endpoint delivered
 // bandwidth over injectGBps.
-func AlltoallShareConcurrent(n *topo.Network, cfg Config, bytesPerPeer int64, window int, injectGBps float64, seed int64) (float64, error) {
-	p := len(n.Endpoints)
+func AlltoallShareConcurrent(c *simcore.Compiled, table *routing.Table, cfg Config, bytesPerPeer int64, window int, injectGBps float64, seed int64) (float64, error) {
+	p := c.NumEndpoints()
 	if window <= 0 || window > p-1 {
 		window = min(16, p-1)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var flows []Flow
-	seen := map[int]bool{}
-	for len(seen) < window {
+	seen := make([]bool, p)
+	for n := 0; n < window; {
 		shift := 1 + rng.Intn(p-1)
 		if seen[shift] {
 			continue
 		}
 		seen[shift] = true
-		flows = append(flows, ShiftFlows(n.Endpoints, shift, bytesPerPeer)...)
+		n++
+		flows = append(flows, ShiftFlows(c.Endpoints, shift, bytesPerPeer)...)
 	}
-	res, err := New(n, nil, cfg).Run(flows)
+	res, err := New(c, table, cfg).Run(flows)
 	if err != nil {
 		return 0, err
 	}
@@ -100,22 +119,21 @@ func AlltoallShareConcurrent(n *topo.Network, cfg Config, bytesPerPeer int64, wi
 // Each endpoint injects through a single plane (4 links for HxMesh/torus
 // endpoints, 1 for fat-tree/Dragonfly endpoints); injectGBps is the
 // per-endpoint injection bandwidth the share is normalized against.
-func AlltoallShare(n *topo.Network, cfg Config, bytes int64, nShifts int, injectGBps float64, seed int64) (float64, error) {
-	p := len(n.Endpoints)
-	if nShifts <= 0 || nShifts > p-1 {
-		nShifts = p - 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	sim := New(n, nil, cfg)
+// Passing the cluster's shared table (may be nil) reuses its cached
+// distance vectors and candidate DAGs across sweeps; the runner's
+// AlltoallPacketShare parallelizes the same sweep.
+func AlltoallShare(c *simcore.Compiled, table *routing.Table, cfg Config, bytes int64, nShifts int, injectGBps float64, seed int64) (float64, error) {
+	p := c.NumEndpoints()
+	sim := New(c, table, cfg)
 	sum := 0.0
-	for k := 0; k < nShifts; k++ {
-		shift := 1 + rng.Intn(p-1)
-		res, err := sim.Run(ShiftFlows(n.Endpoints, shift, bytes))
+	shifts := SampleShifts(p, nShifts, seed)
+	for _, shift := range shifts {
+		res, err := sim.Run(ShiftFlows(c.Endpoints, shift, bytes))
 		if err != nil {
 			return 0, err
 		}
 		perEp := res.AggregateGBps() / float64(p)
 		sum += perEp / injectGBps
 	}
-	return sum / float64(nShifts), nil
+	return sum / float64(len(shifts)), nil
 }

@@ -14,17 +14,15 @@ type ChannelInfo struct {
 }
 
 // ChannelInfo returns the descriptor of channel i (see Result.LinkBytes).
+// Channel ids are compiled port ids, so the lookup is direct.
 func (s *Sim) ChannelInfo(i int) ChannelInfo {
-	ch := s.channels[i]
-	// Recover the link class from the originating port.
-	var class topo.LinkClass
-	for pi, p := range s.net.Nodes[ch.from].Ports {
-		if s.chanOf[ch.from][pi] == int32(i) {
-			class = p.Class
-			break
-		}
+	p := s.comp.Ports[i]
+	return ChannelInfo{
+		From:  topo.NodeID(s.comp.Owner[i]),
+		To:    topo.NodeID(p.To),
+		Class: p.Class,
+		GBps:  p.GBps,
 	}
-	return ChannelInfo{From: topo.NodeID(ch.from), To: topo.NodeID(ch.to), Class: class, GBps: ch.gbps}
 }
 
 // NumChannels returns the number of directed channels.
@@ -40,7 +38,8 @@ type HotLink struct {
 }
 
 // HotLinks returns the n busiest channels of a run with link statistics
-// enabled, sorted by byte count descending.
+// enabled, sorted by byte count descending (ties broken by channel id so
+// the order is deterministic).
 func (s *Sim) HotLinks(res *Result, n int) []HotLink {
 	if res.LinkBytes == nil {
 		return nil
@@ -57,19 +56,25 @@ func (s *Sim) HotLinks(res *Result, n int) []HotLink {
 		}
 		out = append(out, HotLink{Channel: i, Info: info, Bytes: b, Utilization: util})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Channel < out[j].Channel
+	})
 	if n > 0 && len(out) > n {
 		out = out[:n]
 	}
 	return out
 }
 
-// BytesByClass aggregates carried bytes per link class.
-func (s *Sim) BytesByClass(res *Result) map[topo.LinkClass]int64 {
-	out := map[topo.LinkClass]int64{}
+// BytesByClass aggregates carried bytes per link class, densely indexed by
+// topo.LinkClass (deterministic, unlike the map it replaces).
+func (s *Sim) BytesByClass(res *Result) [topo.NumLinkClasses]int64 {
+	var out [topo.NumLinkClasses]int64
 	for i, b := range res.LinkBytes {
 		if b > 0 {
-			out[s.ChannelInfo(i).Class] += b
+			out[s.comp.Ports[i].Class] += b
 		}
 	}
 	return out
@@ -85,11 +90,10 @@ func (s *Sim) UpperLevelShare(res *Result, minLevel int8) float64 {
 		if b == 0 {
 			continue
 		}
-		ch := s.channels[i]
+		from, to := s.comp.Owner[i], s.comp.Ports[i].To
 		total += b
-		fromN, toN := &s.net.Nodes[ch.from], &s.net.Nodes[ch.to]
-		if fromN.Kind == topo.Switch && toN.Kind == topo.Switch &&
-			(fromN.Level >= minLevel || toN.Level >= minLevel) {
+		if s.comp.IsSwitch(from) && s.comp.IsSwitch(to) &&
+			(s.comp.Level[from] >= minLevel || s.comp.Level[to] >= minLevel) {
 			upper += b
 		}
 	}

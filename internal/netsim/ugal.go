@@ -66,14 +66,9 @@ func (s *Sim) chooseUGAL(src, dst int32, rng *rand.Rand) int32 {
 
 // bestQueue is the smallest output backlog among minimal candidates.
 func (s *Sim) bestQueue(at, toward int32) float64 {
-	d := s.table.Dist(topo.NodeID(toward))
-	want := d[at] - 1
 	best := -1.0
-	for pi, p := range s.net.Nodes[at].Ports {
-		if d[p.To] != want {
-			continue
-		}
-		q := float64(s.channels[s.chanOf[at][pi]].queuedB)
+	for _, ci := range s.table.Candidates(at, topo.NodeID(toward)) {
+		q := float64(s.channels[ci].queuedB)
 		if best < 0 || q < best {
 			best = q
 		}
@@ -84,17 +79,11 @@ func (s *Sim) bestQueue(at, toward int32) float64 {
 	return best
 }
 
-// randomSwitch picks a random switch node (cached index).
+// randomSwitch picks a random switch node from the compiled switch index.
 func (s *Sim) randomSwitch(rng *rand.Rand) int32 {
-	if s.switchIdx == nil {
-		for i := range s.net.Nodes {
-			if s.net.Nodes[i].Kind == topo.Switch {
-				s.switchIdx = append(s.switchIdx, int32(i))
-			}
-		}
-	}
-	if len(s.switchIdx) == 0 {
+	sw := s.comp.Switches
+	if len(sw) == 0 {
 		return -1
 	}
-	return s.switchIdx[rng.Intn(len(s.switchIdx))]
+	return int32(sw[rng.Intn(len(sw))])
 }

@@ -31,7 +31,7 @@ func TestUGALBeatsMinimalOnAdversarial(t *testing.T) {
 	run := func(ugal bool) float64 {
 		cfg := DefaultConfig()
 		cfg.UGAL = UGALConfig{Enable: ugal, Candidates: 2}
-		res, err := New(n, nil, cfg).Run(flows)
+		res, err := NewNet(n, nil, cfg).Run(flows)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +53,7 @@ func TestUGALHarmlessOnUniform(t *testing.T) {
 	run := func(ugal bool) float64 {
 		cfg := DefaultConfig()
 		cfg.UGAL = UGALConfig{Enable: ugal}
-		res, err := New(n, nil, cfg).Run(flows)
+		res, err := NewNet(n, nil, cfg).Run(flows)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func TestLinkStatsConservation(t *testing.T) {
 	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
 	cfg := DefaultConfig()
 	cfg.CollectLinkStats = true
-	sim := New(h.Network, nil, cfg)
+	sim := NewNet(h.Network, nil, cfg)
 	rng := rand.New(rand.NewSource(8))
 	flows := PermutationFlows(h.Endpoints, 128<<10, rng)
 	res, err := sim.Run(flows)
@@ -113,7 +113,7 @@ func TestUpperLevelShare(t *testing.T) {
 	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
 	cfg := DefaultConfig()
 	cfg.CollectLinkStats = true
-	sim := New(h.Network, nil, cfg)
+	sim := NewNet(h.Network, nil, cfg)
 	rng := rand.New(rand.NewSource(3))
 	res, err := sim.Run(PermutationFlows(h.Endpoints, 64<<10, rng))
 	if err != nil {
@@ -125,7 +125,7 @@ func TestUpperLevelShare(t *testing.T) {
 	// On a 2-level fat tree with alltoall-ish traffic, the upper level
 	// carries a substantial share.
 	ft := topo.NewFatTree(128, topo.NonblockingTree(), topo.DefaultLinkParams())
-	simF := New(ft, nil, cfg)
+	simF := NewNet(ft, nil, cfg)
 	resF, err := simF.Run(ShiftFlows(ft.Endpoints, 64, 64<<10))
 	if err != nil {
 		t.Fatal(err)

@@ -15,9 +15,18 @@
 // Deadlock freedom in the credit-based simulator uses the paper's virtual
 // channel policy (§IV-C3): the VC is incremented every time a packet leaves
 // a board and enters a dimension network, requiring at most three VCs.
+//
+// Tables operate on the compiled flat-array network (internal/simcore):
+// distance vectors are cached in a dense per-node slice, so the per-packet
+// lookup in the simulator's hot loop is two array indexes. A Table is safe
+// for concurrent use — vectors are published through atomic pointers, which
+// lets the experiment runner share one table across parallel simulations.
 package routing
 
 import (
+	"sync/atomic"
+
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -25,46 +34,110 @@ import (
 // escalation policy (§IV-C3): a packet crosses at most two fat trees.
 const MaxVCs = 3
 
-// Table holds per-destination distance vectors, computed lazily and cached.
+// Table holds per-destination distance vectors and candidate-port lists,
+// computed lazily and cached in dense slices indexed by destination node
+// id. Construction is lock-free: workers that race on the same cold
+// destination each compute the vector and the first CompareAndSwap wins
+// (duplicate work is bounded and rare), so distinct destinations build
+// concurrently during parallel sweeps.
 type Table struct {
-	Net  *topo.Network
-	dist map[topo.NodeID][]int32
+	C *simcore.Compiled
+
+	dist []atomic.Pointer[[]int32]
+	cand []atomic.Pointer[candVec]
 }
 
-// NewTable creates a routing table for the network.
-func NewTable(n *topo.Network) *Table {
-	return &Table{Net: n, dist: make(map[topo.NodeID][]int32)}
+// candVec is the compiled shortest-path DAG toward one destination: the
+// minimal candidate output ports of node u are
+// ports[off[u]:off[u+1]] (global port ids == channel ids).
+type candVec struct {
+	off   []int32
+	ports []int32
 }
+
+// NewTable creates a routing table over a compiled network.
+func NewTable(c *simcore.Compiled) *Table {
+	return &Table{
+		C:    c,
+		dist: make([]atomic.Pointer[[]int32], c.NumNodes()),
+		cand: make([]atomic.Pointer[candVec], c.NumNodes()),
+	}
+}
+
+// NewTableNet is a convenience constructor from a raw network (compiled via
+// the simcore cache).
+func NewTableNet(n *topo.Network) *Table { return NewTable(simcore.Of(n)) }
 
 // Dist returns the hop-distance vector toward dst (computing it on first
 // use). dist[v] is the number of links from v to dst.
 func (t *Table) Dist(dst topo.NodeID) []int32 {
-	if d, ok := t.dist[dst]; ok {
+	if p := t.dist[dst].Load(); p != nil {
+		return *p
+	}
+	d := t.C.BFSFrom(dst)
+	if t.dist[dst].CompareAndSwap(nil, &d) {
 		return d
 	}
-	d := topo.BFSFrom(t.Net, dst)
-	t.dist[dst] = d
-	return d
+	return *t.dist[dst].Load()
+}
+
+// Candidates returns the global port ids (channel ids) of the minimal
+// candidate outputs of node `at` toward dst, in port order. The
+// per-destination DAG is compiled once from the distance vector and cached,
+// so the per-packet cost in the simulator's hot loop is slicing a flat
+// array. The slice is shared and must not be mutated.
+func (t *Table) Candidates(at int32, dst topo.NodeID) []int32 {
+	cv := t.cand[dst].Load()
+	if cv == nil {
+		cv = t.buildCand(dst)
+	}
+	return cv.ports[cv.off[at]:cv.off[at+1]]
+}
+
+func (t *Table) buildCand(dst topo.NodeID) *candVec {
+	d := t.Dist(dst)
+	c := t.C
+	cv := &candVec{off: make([]int32, c.NumNodes()+1)}
+	cv.ports = make([]int32, 0, c.NumPorts()/2)
+	for u := 0; u < c.NumNodes(); u++ {
+		cv.off[u] = int32(len(cv.ports))
+		if int32(u) == int32(dst) || d[u] < 0 {
+			continue
+		}
+		want := d[u] - 1
+		off, end := c.PortRange(int32(u))
+		for pid := off; pid < end; pid++ {
+			if d[c.Ports[pid].To] == want {
+				cv.ports = append(cv.ports, pid)
+			}
+		}
+	}
+	cv.off[c.NumNodes()] = int32(len(cv.ports))
+	if t.cand[dst].CompareAndSwap(nil, cv) {
+		return cv
+	}
+	return t.cand[dst].Load()
 }
 
 // Precompute fills the cache for the given destinations (useful before
-// timing-sensitive simulation loops).
+// timing-sensitive simulation loops or before sharing the table across
+// runner workers).
 func (t *Table) Precompute(dsts []topo.NodeID) {
 	for _, d := range dsts {
 		t.Dist(d)
 	}
 }
 
-// NextPorts appends to buf the indexes of ports on node `at` that lie on a
-// shortest path to dst and returns the extended slice. It returns buf
-// unchanged if at == dst.
+// NextPorts appends to buf the node-local indexes of ports on node `at`
+// that lie on a shortest path to dst and returns the extended slice. It
+// returns buf unchanged if at == dst.
 func (t *Table) NextPorts(at, dst topo.NodeID, buf []int) []int {
 	if at == dst {
 		return buf
 	}
 	d := t.Dist(dst)
 	want := d[at] - 1
-	for i, p := range t.Net.Nodes[at].Ports {
+	for i, p := range t.C.PortsOf(int32(at)) {
 		if d[p.To] == want {
 			buf = append(buf, i)
 		}
@@ -85,29 +158,30 @@ func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
 	}
 	path := make([]topo.NodeID, 0, d[src]+1)
 	path = append(path, src)
-	at := src
+	at := int32(src)
 	rng := seed
-	for at != dst {
+	for at != int32(dst) {
 		want := d[at] - 1
+		ports := t.C.PortsOf(at)
 		// Count candidates, then pick the rng-th.
 		n := 0
-		for _, p := range t.Net.Nodes[at].Ports {
-			if d[p.To] == want {
+		for i := range ports {
+			if d[ports[i].To] == want {
 				n++
 			}
 		}
 		rng = rng*6364136223846793005 + 1442695040888963407
 		pick := int(rng>>33) % n
-		for _, p := range t.Net.Nodes[at].Ports {
-			if d[p.To] == want {
+		for i := range ports {
+			if d[ports[i].To] == want {
 				if pick == 0 {
-					at = p.To
+					at = ports[i].To
 					break
 				}
 				pick--
 			}
 		}
-		path = append(path, at)
+		path = append(path, topo.NodeID(at))
 	}
 	return path
 }
@@ -117,8 +191,8 @@ func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
 // jumps from a board into a dimension network (an endpoint-to-switch hop),
 // so board-internal north-last routing and in-tree up/down routing each
 // stay within one VC and at most three VCs are used.
-func VCPolicy(n *topo.Network, from, to topo.NodeID, vc int8) int8 {
-	if n.Nodes[from].Kind == topo.Endpoint && n.Nodes[to].Kind == topo.Switch {
+func VCPolicy(c *simcore.Compiled, from, to int32, vc int8) int8 {
+	if c.Kind[from] == topo.Endpoint && c.Kind[to] == topo.Switch {
 		if vc < MaxVCs-1 {
 			return vc + 1
 		}

@@ -12,7 +12,7 @@ func lp() topo.LinkParams { return topo.DefaultLinkParams() }
 
 func TestNextPortsDecreaseDistance(t *testing.T) {
 	h := topo.NewHxMesh(2, 2, 4, 4, lp())
-	tab := NewTable(h.Network)
+	tab := NewTableNet(h.Network)
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 200; trial++ {
 		src := h.Endpoints[rng.Intn(len(h.Endpoints))]
@@ -43,7 +43,7 @@ func TestSamplePathIsShortestWalk(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range nets {
-		tab := NewTable(n)
+		tab := NewTableNet(n)
 		for trial := 0; trial < 50; trial++ {
 			src := n.Endpoints[rng.Intn(len(n.Endpoints))]
 			dst := n.Endpoints[rng.Intn(len(n.Endpoints))]
@@ -78,7 +78,7 @@ func TestHxMeshIntermediateBoardPath(t *testing.T) {
 	// Cross-row cross-column traffic must pass through an intermediate
 	// board's accelerators or through two dimension networks (§IV-C2).
 	h := topo.NewHxMesh(2, 2, 4, 4, lp())
-	tab := NewTable(h.Network)
+	tab := NewTableNet(h.Network)
 	src := h.Accel(0, 0) // board (0,0)
 	dst := h.Accel(7, 7) // board (3,3)
 	path := tab.SamplePath(src, dst, 3)
@@ -97,14 +97,14 @@ func TestVCPolicyBounded(t *testing.T) {
 	// Property: along any sampled path, the VC never exceeds MaxVCs-1 and
 	// never decreases.
 	h := topo.NewHxMesh(2, 2, 4, 4, lp())
-	tab := NewTable(h.Network)
+	tab := NewTableNet(h.Network)
 	f := func(s8, d8 uint8, seed uint64) bool {
 		src := h.Endpoints[int(s8)%len(h.Endpoints)]
 		dst := h.Endpoints[int(d8)%len(h.Endpoints)]
 		path := tab.SamplePath(src, dst, seed)
 		vc := int8(0)
 		for i := 0; i+1 < len(path); i++ {
-			nvc := VCPolicy(h.Network, path[i], path[i+1], vc)
+			nvc := VCPolicy(tab.C, int32(path[i]), int32(path[i+1]), vc)
 			if nvc < vc || nvc >= MaxVCs {
 				return false
 			}
@@ -119,7 +119,7 @@ func TestVCPolicyBounded(t *testing.T) {
 
 func TestNextPortsVia(t *testing.T) {
 	n := topo.NewDragonfly(topo.DragonflyConfig{A: 4, P: 2, H: 2, G: 5, LP: lp()})
-	tab := NewTable(n)
+	tab := NewTableNet(n)
 	src, mid, dst := n.Endpoints[0], n.Endpoints[20], n.Endpoints[39]
 	// Walk hop by hop via mid; total hops must equal d(src,mid)+d(mid,dst).
 	at, reached := src, false
@@ -141,9 +141,15 @@ func TestNextPortsVia(t *testing.T) {
 
 func TestPrecompute(t *testing.T) {
 	h := topo.NewHxMesh(1, 1, 4, 4, lp())
-	tab := NewTable(h.Network)
+	tab := NewTableNet(h.Network)
 	tab.Precompute(h.Endpoints)
-	if len(tab.dist) != len(h.Endpoints) {
-		t.Errorf("precomputed %d vectors, want %d", len(tab.dist), len(h.Endpoints))
+	cached := 0
+	for i := range tab.dist {
+		if tab.dist[i].Load() != nil {
+			cached++
+		}
+	}
+	if cached != len(h.Endpoints) {
+		t.Errorf("precomputed %d vectors, want %d", cached, len(h.Endpoints))
 	}
 }

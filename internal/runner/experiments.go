@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hammingmesh/internal/core"
+	"hammingmesh/internal/netsim"
+)
+
+// AlltoallPacketShare measures the packet-level alltoall bandwidth share of
+// the cluster's injection bandwidth by running nShifts sampled shift
+// iterations as parallel jobs (one simulation per shift, all sharing the
+// compiled network and routing table). The shift sequence matches the
+// serial netsim.AlltoallShare for equal seeds, and under the deterministic
+// default routing (LeastQueued, no UGAL) the share is bit-identical to the
+// serial sweep. Stochastic configs (RandomCandidate, UGAL) draw from a
+// per-shift RNG here instead of one generator threaded across shifts, so
+// they stay deterministic for any worker count but are not comparable
+// draw-for-draw with the serial API.
+func (p *Pool) AlltoallPacketShare(c *core.Cluster, cfg netsim.Config, bytes int64, nShifts int, seed int64) (float64, error) {
+	nEp := c.Comp.NumEndpoints()
+	if nEp < 2 {
+		return 0, fmt.Errorf("runner: need ≥2 endpoints")
+	}
+	shifts := netsim.SampleShifts(nEp, nShifts, seed)
+	inj := c.SimInjectionGBps()
+	jobs := make([]Job, len(shifts))
+	for i, shift := range shifts {
+		jobCfg := cfg
+		jobCfg.Seed = JobSeed(cfg.Seed, i) // decorrelate stochastic routing per shift
+		jobs[i] = Job{
+			Name: fmt.Sprintf("alltoall-shift%d", shift),
+			Run: func(ctx *Ctx) (any, error) {
+				res, err := netsim.New(c.Comp, c.Table, jobCfg).Run(
+					netsim.ShiftFlows(c.Comp.Endpoints, shift, bytes))
+				if err != nil {
+					return nil, err
+				}
+				perEp := res.AggregateGBps() / float64(nEp)
+				return perEp / inj, nil
+			},
+		}
+	}
+	shares, err := Float64s(p.Run(jobs))
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	return sum / float64(len(shares)), nil
+}
+
+// PermutationSweepGBps runs nPerms independent random-permutation packet
+// simulations as parallel jobs under the given config and returns the
+// concatenated per-endpoint receive bandwidths (the Fig. 12 distribution
+// with more samples). Permutations and engine seeds derive only from the
+// explicit seed/cfg arguments (job index included), so the distribution is
+// identical for any worker count and any pool base seed.
+func (p *Pool) PermutationSweepGBps(c *core.Cluster, cfg netsim.Config, bytes int64, nPerms int, seed int64) ([]float64, error) {
+	if nPerms <= 0 {
+		nPerms = 1
+	}
+	jobs := make([]Job, nPerms)
+	for i := range jobs {
+		jobCfg := cfg
+		jobCfg.Seed = JobSeed(cfg.Seed, i)
+		permSeed := JobSeed(seed, i)
+		jobs[i] = Job{
+			Name: fmt.Sprintf("permutation-%d", i),
+			Run: func(ctx *Ctx) (any, error) {
+				return c.PermutationGBpsCfg(jobCfg, bytes, rand.New(rand.NewSource(permSeed)))
+			},
+		}
+	}
+	results := p.Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	var all []float64
+	for _, r := range results {
+		all = append(all, r.Value.([]float64)...)
+	}
+	return all, nil
+}
+
+// TopologySweep runs fn once per topology name at the given size, each as
+// a pool job against the cached cluster, and returns results in name
+// order. Used by the cmd tools to evaluate Table II style rows in
+// parallel.
+func (p *Pool) TopologySweep(names []string, size core.ClusterSize, fn func(ctx *Ctx, name string, c *core.Cluster) (any, error)) []Result {
+	jobs := make([]Job, len(names))
+	for i, name := range names {
+		jobs[i] = Job{
+			Name: name,
+			Run: func(ctx *Ctx) (any, error) {
+				c, err := ctx.Pool.Cluster(name, size)
+				if err != nil {
+					return nil, err
+				}
+				return fn(ctx, name, c)
+			},
+		}
+	}
+	return p.Run(jobs)
+}

@@ -1,0 +1,182 @@
+// Package runner executes experiment sweeps on a worker pool. It is the
+// layer between the simulators and the command-line tools / benchmark
+// harness: callers describe a sweep as a list of jobs, and the pool runs
+// them on N workers with deterministic per-job RNG seeding, so results are
+// bit-identical regardless of worker count or scheduling order.
+//
+// The pool also caches built clusters (topology + compiled network +
+// routing table) by name and size: compilation and BFS distance vectors are
+// shared across all jobs of a sweep, which is safe because simcore.Compiled
+// is immutable and routing.Table publishes vectors atomically.
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"hammingmesh/internal/core"
+)
+
+// Job is one unit of work in a sweep.
+type Job struct {
+	// Name labels the job in results (for error reporting and printing).
+	Name string
+	// Run executes the job. It must not share mutable state with other
+	// jobs; shared read-only state (clusters, tables) is fine.
+	Run func(ctx *Ctx) (any, error)
+}
+
+// Ctx carries the per-job deterministic execution context.
+type Ctx struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Seed is a deterministic per-job seed derived from the pool's base
+	// seed and the job index (independent of worker count).
+	Seed int64
+	// RNG is a private generator seeded with Seed.
+	RNG *rand.Rand
+	// Pool gives jobs access to the shared cluster cache.
+	Pool *Pool
+}
+
+// Result is the outcome of one job, in submission order.
+type Result struct {
+	Name    string
+	Value   any
+	Err     error
+	Elapsed time.Duration
+}
+
+// Pool is a fixed-size worker pool with a shared cluster cache. A Pool is
+// safe for concurrent use.
+type Pool struct {
+	workers  int
+	baseSeed int64
+
+	mu       sync.Mutex
+	clusters map[clusterKey]*clusterSlot
+}
+
+type clusterKey struct {
+	name string
+	size core.ClusterSize
+}
+
+type clusterSlot struct {
+	once sync.Once
+	c    *core.Cluster
+	err  error
+}
+
+// New creates a pool with the given worker count (<= 0 means GOMAXPROCS).
+func New(workers int) *Pool { return NewSeeded(workers, 1) }
+
+// NewSeeded creates a pool whose per-job seeds derive from baseSeed.
+func NewSeeded(workers int, baseSeed int64) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers:  workers,
+		baseSeed: baseSeed,
+		clusters: make(map[clusterKey]*clusterSlot),
+	}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Cluster returns the cached cluster for (name, size), building it on
+// first use. Concurrent callers for the same key share one build.
+func (p *Pool) Cluster(name string, size core.ClusterSize) (*core.Cluster, error) {
+	key := clusterKey{name, size}
+	p.mu.Lock()
+	slot, ok := p.clusters[key]
+	if !ok {
+		slot = &clusterSlot{}
+		p.clusters[key] = slot
+	}
+	p.mu.Unlock()
+	slot.once.Do(func() { slot.c, slot.err = core.NewByName(name, size) })
+	return slot.c, slot.err
+}
+
+// splitmix64 is the SplitMix64 finalizer; it decorrelates consecutive job
+// indexes into independent seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// JobSeed returns the deterministic seed of job index i under base seed s.
+func JobSeed(baseSeed int64, i int) int64 {
+	return int64(splitmix64(uint64(baseSeed)*0x9e3779b97f4a7c15 + uint64(i)))
+}
+
+// Run executes the jobs on the pool's workers and returns their results in
+// submission order. It blocks until every job finishes; job errors are
+// reported per-result, not returned.
+func (p *Pool) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job := jobs[i]
+				seed := JobSeed(p.baseSeed, i)
+				ctx := &Ctx{Index: i, Seed: seed, RNG: rand.New(rand.NewSource(seed)), Pool: p}
+				start := time.Now()
+				v, err := job.Run(ctx)
+				results[i] = Result{Name: job.Name, Value: v, Err: err, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// FirstErr returns the first job error in submission order, or nil.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("runner: job %q: %w", r.Name, r.Err)
+		}
+	}
+	return nil
+}
+
+// Float64s extracts float64 job values, failing on the first job error or
+// non-float value.
+func Float64s(results []Result) ([]float64, error) {
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(results))
+	for i, r := range results {
+		v, ok := r.Value.(float64)
+		if !ok {
+			return nil, fmt.Errorf("runner: job %q returned %T, want float64", r.Name, r.Value)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

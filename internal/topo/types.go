@@ -45,6 +45,10 @@ const (
 	DAC
 	// AoC is an active optical cable (20 m, $603).
 	AoC
+
+	// NumLinkClasses is the number of link classes (for dense per-class
+	// accounting arrays).
+	NumLinkClasses = int(AoC) + 1
 )
 
 func (c LinkClass) String() string {
