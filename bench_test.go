@@ -673,3 +673,39 @@ func BenchmarkAlltoallSweep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAlltoallSweepFaulted is the degraded-fabric variant of
+// BenchmarkAlltoallSweep: the same shift sweep with 10% of the cables
+// failed (connectivity-preserving, seeded), exercising the fault-masked
+// routing tables in the hot path. The pair of benchmarks tracks both the
+// pristine and the degraded packet-rate trajectory across PRs.
+func BenchmarkAlltoallSweepFaulted(b *testing.B) {
+	size := core.Small
+	shifts := 8
+	bytes := int64(32 << 10)
+	if testing.Short() {
+		size = core.Tiny
+		shifts = 4
+	}
+	pool := runner.NewSeeded(benchWorkers(), 7)
+	c, err := pool.Cluster("hx2mesh", size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fc := c.WithFaults(c.SampleLinkFaults(0.10, 7))
+	if _, err := pool.AlltoallPacketShare(fc, netsim.DefaultConfig(), 8<<10, shifts, 7); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		share, err := pool.AlltoallPacketShare(fc, netsim.DefaultConfig(), bytes, shifts, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*share, "%inject")
+		once("a2asweepfault", func() {
+			fmt.Printf("  alltoall sweep hx2mesh/%s with %d failed links: share %.1f%%\n",
+				size, fc.Faults.FailedLinks(), 100*share)
+		})
+	}
+}

@@ -12,6 +12,16 @@
 //	hxsim -topo fattree -size small -pattern allreduce
 //	hxsim -topo hx4mesh -size tiny -pattern permutation -credit -parallel 8
 //
+// Degraded fabrics (§III-E): -fail-links fails a fraction of the cables
+// and -fail-boards powers off whole boards (HxMesh only), both seeded by
+// -fail-seed; every pattern then measures the degraded cluster. The
+// resilience pattern sweeps the link-failure fraction from zero up to
+// -fail-links (default 0.2) — on top of -fail-boards dead boards — and
+// reports delivered bandwidth and makespan per point:
+//
+//	hxsim -topo hx2mesh -size tiny -pattern resilience -trials 4
+//	hxsim -topo hx2mesh -size tiny -pattern alltoall -fail-links 0.1 -fail-seed 3
+//
 // Sizes: tiny (≈64 accels, packet-level), small (≈1k, flow-level where
 // needed), large (≈16k, flow-level/analytic only).
 package main
@@ -31,13 +41,17 @@ import (
 func main() {
 	topoName := flag.String("topo", "hx2mesh", "topology name (fattree, fattree50, fattree75, dragonfly, hyperx, hx2mesh, hx4mesh, torus)")
 	size := flag.String("size", "tiny", "cluster size: tiny, small, large")
-	pattern := flag.String("pattern", "alltoall", "traffic pattern: alltoall, permutation, allreduce")
+	pattern := flag.String("pattern", "alltoall", "traffic pattern: alltoall, permutation, allreduce, resilience")
 	bytes := flag.Int64("bytes", 256<<10, "bytes per flow / per peer")
 	shifts := flag.Int("shifts", 8, "sampled shift iterations for alltoall")
 	perms := flag.Int("perms", 1, "sampled permutations for the permutation pattern")
 	seed := flag.Int64("seed", 1, "random seed")
 	credit := flag.Bool("credit", false, "use credit-based flow control instead of ideal buffers")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
+	failLinks := flag.Float64("fail-links", 0, "fraction of cables to fail (resilience: sweep upper bound, default 0.2)")
+	failBoards := flag.Int("fail-boards", 0, "number of whole boards to fail (HxMesh families)")
+	failSeed := flag.Int64("fail-seed", 1, "seed of the fault samplers")
+	trials := flag.Int("trials", 3, "seeded fault trials per resilience point")
 	flag.Parse()
 
 	pool := runner.NewSeeded(*parallel, *seed)
@@ -53,6 +67,49 @@ func main() {
 	cfg.Seed = *seed
 	if *credit {
 		cfg.Mode = netsim.CreditFC
+	}
+
+	if *pattern == "resilience" {
+		maxFrac := *failLinks
+		if maxFrac <= 0 {
+			maxFrac = 0.2
+		}
+		const steps = 5
+		fracs := make([]float64, 0, steps)
+		for i := 0; i < steps; i++ {
+			fracs = append(fracs, maxFrac*float64(i)/(steps-1))
+		}
+		pts, err := pool.ResilienceSweep(c, cfg, *bytes, fracs, *trials, *shifts, *failSeed, *failBoards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		boardNote := ""
+		if *failBoards > 0 {
+			boardNote = fmt.Sprintf(", on top of %d dead boards", *failBoards)
+		}
+		fmt.Printf("resilience sweep (%d trials x %d shifts per point, %d B/peer%s):\n", *trials, *shifts, *bytes, boardNote)
+		fmt.Printf("  %-10s %-12s %-18s %-10s %s\n", "fail-frac", "links-down", "share-of-inject", "worst", "makespan")
+		for _, p := range pts {
+			fmt.Printf("  %-10.3f %-12.1f %-18s %-10s %.0f ns\n",
+				p.FailFrac, p.FailedLinks,
+				fmt.Sprintf("%.2f%%", 100*p.Share), fmt.Sprintf("%.2f%%", 100*p.MinShare), p.Makespan)
+		}
+		return
+	}
+
+	// Fixed fault scenario for the other patterns: the degraded cluster
+	// view recomputes routing around the failures; dead boards drop out of
+	// the traffic and the allocator.
+	if *failLinks > 0 || *failBoards > 0 {
+		fs, err := c.SampleFaults(*failLinks, *failBoards, *failSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c = c.WithFaults(fs)
+		fmt.Printf("degraded fabric: %v, %d/%d endpoints alive\n",
+			fs, len(c.AliveEndpoints()), c.Comp.NumEndpoints())
 	}
 
 	switch *pattern {

@@ -17,6 +17,7 @@ import (
 	"hammingmesh/internal/analysis"
 	"hammingmesh/internal/collective"
 	"hammingmesh/internal/cost"
+	"hammingmesh/internal/faults"
 	"hammingmesh/internal/flowsim"
 	"hammingmesh/internal/netsim"
 	"hammingmesh/internal/routing"
@@ -32,6 +33,10 @@ type Cluster struct {
 	Table *routing.Table
 	Grid  *alloc.Grid // board allocator, non-nil for HxMesh families
 	LP    topo.LinkParams
+
+	// Faults is the fault set this cluster view routes around (nil for the
+	// pristine cluster; set by WithFaults).
+	Faults *faults.FaultSet
 }
 
 // newCluster compiles the network and wires the shared services. It uses
@@ -84,6 +89,66 @@ func NewDragonfly(cfg topo.DragonflyConfig) *Cluster {
 	return newCluster(n, nil, nil, cfg.LP)
 }
 
+// WithFaults returns a degraded view of the cluster: same network and
+// compiled form (both immutable), but a routing table that computes routes
+// over the fault set's port-mask overlay, and — when the cluster has a
+// board allocator — a fresh allocation grid with the failed boards marked
+// so job placement skips them (§IV-A failure handling). The pristine
+// cluster is returned unchanged for a nil or empty fault set, preserving
+// golden outputs bit-for-bit. Measurements on the returned cluster
+// (AlltoallShare, AllreduceShare, PermutationGBps, …) automatically route
+// around the failures; flows whose destination was cut off surface a typed
+// *routing.ErrUnreachable.
+func (c *Cluster) WithFaults(fs *faults.FaultSet) *Cluster {
+	if fs == nil || fs.Zero() {
+		return c
+	}
+	out := *c
+	out.Faults = fs
+	out.Table = routing.NewTableMask(c.Comp, fs.Mask())
+	if c.Grid != nil {
+		g := alloc.NewGrid(c.Grid.X, c.Grid.Y)
+		for _, b := range fs.FailedBoards() {
+			g.Fail(b[0], b[1])
+		}
+		out.Grid = g
+	}
+	return &out
+}
+
+// SampleLinkFaults builds a connectivity-preserving fault set failing the
+// given fraction of the cluster's cables under the seed (see
+// faults.SampleLinksConnected for the nesting guarantee).
+func (c *Cluster) SampleLinkFaults(frac float64, seed int64) *faults.FaultSet {
+	return faults.SampleLinksConnected(c.Comp, frac, seed)
+}
+
+// SampleBoardFaults builds a fault set failing n whole boards; it is only
+// available on HxMesh-family clusters.
+func (c *Cluster) SampleBoardFaults(n int, seed int64) (*faults.FaultSet, error) {
+	if c.Hx == nil {
+		return nil, fmt.Errorf("core: board faults need an HxMesh-family cluster, got %s", c.Net.Meta.Family)
+	}
+	return faults.SampleBoards(c.Hx, c.Comp, n, seed), nil
+}
+
+// SampleFaults builds a combined scenario — boards powered off first, then
+// a connectivity-preserving fraction of cable failures on top — under one
+// seed (the cmd tools' -fail-links/-fail-boards/-fail-seed flags).
+func (c *Cluster) SampleFaults(linkFrac float64, boards int, seed int64) (*faults.FaultSet, error) {
+	if boards > 0 && c.Hx == nil {
+		return nil, fmt.Errorf("core: board faults need an HxMesh-family cluster, got %s", c.Net.Meta.Family)
+	}
+	b := faults.NewBuilder(c.Comp)
+	if boards > 0 {
+		b.SampleFailedBoards(c.Hx, boards, seed)
+	}
+	if linkFrac > 0 {
+		b.SampleConnectedLinks(linkFrac, seed)
+	}
+	return b.Build(), nil
+}
+
 // Inventory returns the graph-derived equipment inventory.
 func (c *Cluster) Inventory() cost.Inventory { return cost.FromNetwork(c.Net) }
 
@@ -132,7 +197,17 @@ func (c *Cluster) AlltoallShare(nShifts int, seed uint64) (float64, error) {
 		cfg.ValiantPaths = 8
 	}
 	s := flowsim.New(c.Comp, c.Table, cfg)
-	return s.AlltoallShare(nShifts, c.SimInjectionGBps(), seed)
+	return s.AlltoallShareOver(c.AliveEndpoints(), nShifts, c.SimInjectionGBps(), seed)
+}
+
+// AliveEndpoints returns the endpoints participating in measurements: all
+// of them on the pristine cluster, the fault set's survivors on a degraded
+// view.
+func (c *Cluster) AliveEndpoints() []topo.NodeID {
+	if c.Faults != nil {
+		return c.Faults.SurvivingEndpoints()
+	}
+	return c.Comp.Endpoints
 }
 
 // AlltoallSharePacket measures the share with the packet simulator
@@ -141,7 +216,7 @@ func (c *Cluster) AlltoallShare(nShifts int, seed uint64) (float64, error) {
 func (c *Cluster) AlltoallSharePacket(bytes int64, nShifts int, seed int64) (float64, error) {
 	cfg := netsim.DefaultConfig()
 	cfg.Seed = seed
-	return netsim.AlltoallShare(c.Comp, c.Table, cfg, bytes, nShifts, c.SimInjectionGBps(), seed)
+	return netsim.AlltoallShareOver(c.Comp, c.Table, cfg, c.AliveEndpoints(), bytes, nShifts, c.SimInjectionGBps(), seed)
 }
 
 // AllreduceShare measures the large-message ring-allreduce bandwidth as a
@@ -163,8 +238,35 @@ func (c *Cluster) AllreduceShare(bytesPerFlow int64) (float64, error) {
 
 // AllreduceRings returns the ring embedding used by AllreduceShare: two
 // edge-disjoint Hamiltonian rings on HxMesh/torus, the endpoint-order ring
-// elsewhere.
+// elsewhere. On a degraded view, dead accelerators are spliced out of each
+// ring: the survivors stay in ring order and the packet simulator routes
+// the now-longer neighbor hops around the failures (the rings may lose
+// edge-disjointness over the degraded fabric — that bandwidth loss is the
+// measurement).
 func (c *Cluster) AllreduceRings() ([][]topo.NodeID, error) {
+	rings, err := c.allreduceRingsPristine()
+	if err != nil {
+		return nil, err
+	}
+	if c.Faults == nil {
+		return rings, nil
+	}
+	for i, ring := range rings {
+		alive := make([]topo.NodeID, 0, len(ring))
+		for _, id := range ring {
+			if !c.Faults.NodeDown(id) {
+				alive = append(alive, id)
+			}
+		}
+		if len(alive) < 2 {
+			return nil, fmt.Errorf("core: ring %d has %d surviving endpoints, need ≥2", i, len(alive))
+		}
+		rings[i] = alive
+	}
+	return rings, nil
+}
+
+func (c *Cluster) allreduceRingsPristine() ([][]topo.NodeID, error) {
 	switch {
 	case c.Hx != nil:
 		r1, r2, err := collective.TwoRingsOnHxMesh(c.Hx)
@@ -196,7 +298,7 @@ func (c *Cluster) PermutationGBps(bytes int64, seed int64) ([]float64, error) {
 // over the flow's own completion time) for both the serial API and the
 // runner's parallel sweep.
 func (c *Cluster) PermutationGBpsCfg(cfg netsim.Config, bytes int64, rng *rand.Rand) ([]float64, error) {
-	flows := netsim.PermutationFlows(c.Net.Endpoints, bytes, rng)
+	flows := netsim.PermutationFlows(c.AliveEndpoints(), bytes, rng)
 	res, err := netsim.New(c.Comp, c.Table, cfg).Run(flows)
 	if err != nil {
 		return nil, err

@@ -53,6 +53,11 @@ type Solver struct {
 	table *routing.Table
 	cfg   Config
 
+	// mask is the routing table's degraded-fabric overlay (nil when
+	// pristine): masked channels are skipped by the parallel-link
+	// round-robin and never carry subflow rate.
+	mask simcore.PortMask
+
 	// rr[g] is the round-robin cursor of parallel-link group g (unsigned
 	// so unbounded increments wrap instead of going negative).
 	rr []uint32
@@ -66,7 +71,7 @@ func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Solver {
 	if cfg.PathsPerFlow <= 0 {
 		cfg.PathsPerFlow = 4
 	}
-	return &Solver{comp: c, table: table, cfg: cfg, rr: make([]uint32, len(c.GroupOff)-1)}
+	return &Solver{comp: c, table: table, cfg: cfg, mask: table.Mask(), rr: make([]uint32, len(c.GroupOff)-1)}
 }
 
 // NewNet creates a solver straight from a network, compiling it through the
@@ -98,17 +103,22 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 	}
 	var subs []subflow
 	seen := make(map[uint64]struct{}, s.cfg.PathsPerFlow+s.cfg.ValiantPaths)
-	addPath := func(fi int, path []topo.NodeID) {
+	addPath := func(fi int, path []topo.NodeID) error {
 		key := pathHash(path)
 		if _, dup := seen[key]; dup {
-			return
+			return nil
 		}
 		seen[key] = struct{}{}
 		links := make([]int32, 0, len(path)-1)
 		for i := 0; i+1 < len(path); i++ {
-			links = append(links, s.pickChannel(path[i], path[i+1]))
+			ch, err := s.pickChannel(path[i], path[i+1])
+			if err != nil {
+				return err
+			}
+			links = append(links, ch)
 		}
 		subs = append(subs, subflow{flow: int32(fi), links: links})
+		return nil
 	}
 	for fi, f := range flows {
 		if f.Src == f.Dst {
@@ -116,20 +126,32 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 		}
 		clear(seen)
 		for k := 0; k < s.cfg.PathsPerFlow; k++ {
-			addPath(fi, s.table.SamplePath(f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919))
+			// A flow whose destination was cut off on a degraded fabric is
+			// a typed error, not a zero-link subflow with infinite rate.
+			path, err := s.table.SamplePathErr(f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919)
+			if err != nil {
+				return nil, fmt.Errorf("flowsim: flow %d: %w", fi, err)
+			}
+			if err := addPath(fi, path); err != nil {
+				return nil, fmt.Errorf("flowsim: flow %d: %w", fi, err)
+			}
 		}
 		for k := 0; k < s.cfg.ValiantPaths; k++ {
 			mid := s.randomSwitch(s.cfg.Seed + uint64(fi)*977 + uint64(k)*31337)
 			if mid < 0 || mid == f.Src || mid == f.Dst {
 				continue
 			}
+			// Unreachable intermediates (e.g. a dead switch) are skipped —
+			// the minimal subflows above already guarantee connectivity.
 			head := s.table.SamplePath(f.Src, mid, s.cfg.Seed+uint64(fi)*13+uint64(k))
 			tail := s.table.SamplePath(mid, f.Dst, s.cfg.Seed+uint64(fi)*17+uint64(k))
 			if len(head) == 0 || len(tail) == 0 {
 				continue
 			}
 			path := append(append([]topo.NodeID{}, head...), tail[1:]...)
-			addPath(fi, path)
+			if err := addPath(fi, path); err != nil {
+				return nil, fmt.Errorf("flowsim: flow %d: %w", fi, err)
+			}
 		}
 	}
 	// Progressive filling.
@@ -211,16 +233,24 @@ func (s *Solver) randomSwitch(seed uint64) topo.NodeID {
 }
 
 // pickChannel chooses among parallel links between u and v round-robin
-// through the precompiled link groups.
-func (s *Solver) pickChannel(u, v topo.NodeID) int32 {
+// through the precompiled link groups. Masked (failed) channels are skipped
+// — surviving parallel links absorb the group's traffic, which is exactly
+// the degraded-bandwidth behaviour the resilience sweeps measure. A missing
+// or fully-failed group is a typed error instead of a panic.
+func (s *Solver) pickChannel(u, v topo.NodeID) (int32, error) {
 	g := s.comp.GroupTo(int32(u), int32(v))
 	if g < 0 {
-		panic(fmt.Sprintf("flowsim: no link %d->%d", u, v))
+		return -1, &routing.ErrUnreachable{From: u, To: v}
 	}
 	chans := s.comp.GroupMembers(g)
-	c := chans[s.rr[g]%uint32(len(chans))]
-	s.rr[g]++
-	return c
+	for range chans {
+		c := chans[s.rr[g]%uint32(len(chans))]
+		s.rr[g]++
+		if !s.mask.Get(c) {
+			return c, nil
+		}
+	}
+	return -1, &routing.ErrUnreachable{From: u, To: v}
 }
 
 // ShiftFlows mirrors netsim.ShiftFlows for the solver.
@@ -244,7 +274,15 @@ func ShiftFlows(endpoints []topo.NodeID, shift int) []Flow {
 // per-endpoint bandwidth is therefore the harmonic mean across shifts of
 // each shift's *mean* max-min flow rate (not its slowest flow).
 func (s *Solver) AlltoallShare(nShifts int, injectGBps float64, seed uint64) (float64, error) {
-	p := s.comp.NumEndpoints()
+	return s.AlltoallShareOver(s.comp.Endpoints, nShifts, injectGBps, seed)
+}
+
+// AlltoallShareOver is AlltoallShare restricted to a subset of endpoints —
+// on a degraded fabric the alltoall runs among the surviving accelerators
+// (see faults.FaultSet.SurvivingEndpoints), matching how a resilient job
+// would be rescheduled around dead boards.
+func (s *Solver) AlltoallShareOver(endpoints []topo.NodeID, nShifts int, injectGBps float64, seed uint64) (float64, error) {
+	p := len(endpoints)
 	if p < 2 {
 		return 0, fmt.Errorf("flowsim: need ≥2 endpoints")
 	}
@@ -256,7 +294,7 @@ func (s *Solver) AlltoallShare(nShifts int, injectGBps float64, seed uint64) (fl
 	for k := 0; k < nShifts; k++ {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		shift := 1 + int(rng>>33)%(p-1)
-		rates, err := s.Solve(ShiftFlows(s.comp.Endpoints, shift))
+		rates, err := s.Solve(ShiftFlows(endpoints, shift))
 		if err != nil {
 			return 0, err
 		}

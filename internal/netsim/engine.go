@@ -21,7 +21,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -157,20 +156,6 @@ type event struct {
 	pkt  packet
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].t < h[j].t }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // channel holds the mutable state of one link direction; its index is the
 // compiled port id, whose static attributes live in comp.Ports.
 type channel struct {
@@ -187,6 +172,10 @@ type Sim struct {
 	table *routing.Table
 	cfg   Config
 
+	// mask is the routing table's degraded-fabric overlay (nil when
+	// pristine): the engine refuses to enqueue packets on masked ports.
+	mask simcore.PortMask
+
 	channels []channel // indexed by compiled port id
 
 	// CreditFC state, indexed by node*MaxVCs+vc: input-buffer occupancy
@@ -198,7 +187,7 @@ type Sim struct {
 	flowSent  []int64
 	flowRecvd []int64
 
-	events eventHeap
+	events eventQueue
 	rng    *rand.Rand
 
 	res Result
@@ -216,7 +205,7 @@ func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Sim {
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 500_000_000
 	}
-	s := &Sim{comp: c, table: table, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	s := &Sim{comp: c, table: table, cfg: cfg, mask: table.Mask(), rng: rand.New(rand.NewSource(cfg.Seed))}
 	s.channels = make([]channel, c.NumPorts())
 	if cfg.Mode == CreditFC {
 		s.occ = make([]int64, c.NumNodes()*routing.MaxVCs)
@@ -245,6 +234,12 @@ func (s *Sim) Run(flows []Flow) (*Result, error) {
 		if s.comp.RankOf[f.Dst] < 0 {
 			return nil, fmt.Errorf("netsim: flow %d destination %d is not an endpoint", fi, f.Dst)
 		}
+		// On a degraded fabric a flow whose destination was cut off fails
+		// up front with the typed routing error rather than panicking on an
+		// empty candidate set mid-simulation.
+		if s.mask != nil && !s.table.Reachable(f.Src, f.Dst) {
+			return nil, fmt.Errorf("netsim: flow %d: %w", fi, &routing.ErrUnreachable{From: f.Src, To: f.Dst})
+		}
 	}
 	s.flows = flows
 	s.flowSent = make([]int64, len(flows))
@@ -270,14 +265,16 @@ func (s *Sim) Run(flows []Flow) (*Result, error) {
 	}
 
 	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(event)
+		ev := s.events.pop()
 		s.res.Events++
 		if s.res.Events > s.cfg.MaxEvents {
 			return nil, fmt.Errorf("netsim: exceeded %d events", s.cfg.MaxEvents)
 		}
 		switch ev.kind {
 		case evArrive:
-			s.arrive(ev)
+			if err := s.arrive(ev); err != nil {
+				return nil, err
+			}
 		case evFree:
 			ci := ev.ch
 			s.channels[ci].busy = false
@@ -308,12 +305,13 @@ func (s *Sim) injectNext(fi int32, t float64) {
 	if s.cfg.UGAL.Enable {
 		pkt.ugal.mid = s.chooseUGAL(int32(f.Src), int32(f.Dst), s.rng)
 	}
-	heap.Push(&s.events, event{t: t, kind: evArrive, node: int32(f.Src), ch: -1, pkt: pkt})
+	s.events.push(event{t: t, kind: evArrive, node: int32(f.Src), ch: -1, pkt: pkt})
 }
 
 // arrive processes a packet reaching a node (after link traversal, or at
-// the source when injected).
-func (s *Sim) arrive(ev event) {
+// the source when injected). It fails with a typed routing error when the
+// packet has no live output toward its target.
+func (s *Sim) arrive(ev event) error {
 	node := ev.node
 	pkt := ev.pkt
 	f := s.flows[pkt.flow]
@@ -330,7 +328,7 @@ func (s *Sim) arrive(ev event) {
 		if s.flowSent[pkt.flow] < f.Bytes {
 			s.injectNext(pkt.flow, ev.t)
 		}
-		return
+		return nil
 	}
 	// Non-minimal (UGAL/Valiant) packets route to their intermediate
 	// first, then minimally to the destination.
@@ -342,7 +340,17 @@ func (s *Sim) arrive(ev event) {
 			target = pkt.ugal.mid
 		}
 	}
-	ci := s.pickOutput(node, target)
+	ci, err := s.pickOutput(node, target)
+	if err != nil && target != int32(f.Dst) {
+		// The UGAL/Valiant intermediate became unreachable from here (only
+		// possible under asymmetric hand-built masks); abandon the detour
+		// and route minimally to the destination instead of stranding.
+		pkt.ugal.reached = true
+		ci, err = s.pickOutput(node, int32(f.Dst))
+	}
+	if err != nil {
+		return err
+	}
 	ch := &s.channels[ci]
 	if s.cfg.Mode == CreditFC {
 		// Charge this node's input buffer (switches only; endpoints are
@@ -361,21 +369,25 @@ func (s *Sim) arrive(ev event) {
 	if !ch.busy && !ch.blocked {
 		s.startTransmit(ci, ev.t)
 	}
+	return nil
 }
 
 // pickOutput selects among minimal candidate ports per the Choice policy.
 // The candidates come precompiled from the routing table (port order), so
-// the per-packet work is a scan over 1-4 channel ids.
-func (s *Sim) pickOutput(node, dst int32) int32 {
+// the per-packet work is a scan over 1-4 channel ids. On a degraded fabric
+// the candidate set excludes masked ports by construction; an empty set
+// means the target was cut off, reported as a typed *routing.ErrUnreachable
+// (this used to panic).
+func (s *Sim) pickOutput(node, dst int32) (int32, error) {
 	cands := s.table.Candidates(node, topo.NodeID(dst))
 	switch s.cfg.Choice {
 	case FirstCandidate:
 		if len(cands) > 0 {
-			return cands[0]
+			return cands[0], nil
 		}
 	case RandomCandidate:
 		if len(cands) > 0 {
-			return cands[s.rng.Intn(len(cands))]
+			return cands[s.rng.Intn(len(cands))], nil
 		}
 	default: // LeastQueued
 		best := int32(-1)
@@ -390,10 +402,10 @@ func (s *Sim) pickOutput(node, dst int32) int32 {
 			}
 		}
 		if best >= 0 {
-			return best
+			return best, nil
 		}
 	}
-	panic(fmt.Sprintf("netsim: no minimal port from node %d toward %d", node, dst))
+	return -1, &routing.ErrUnreachable{From: topo.NodeID(node), To: topo.NodeID(dst)}
 }
 
 // startTransmit pops the head packet of channel ci if flow control admits
@@ -424,8 +436,8 @@ func (s *Sim) startTransmit(ci int32, t float64) {
 		s.res.LinkBytes[ci] += int64(pkt.size)
 	}
 	ch.busy = true
-	heap.Push(&s.events, event{t: t + ser, kind: evFree, ch: ci})
-	heap.Push(&s.events, event{
+	s.events.push(event{t: t + ser, kind: evFree, ch: ci})
+	s.events.push(event{
 		t: t + ser + p.Latency + s.cfg.LP.SwitchNS, kind: evArrive,
 		node: p.To, ch: ci, pkt: pkt,
 	})

@@ -123,12 +123,19 @@ func AlltoallShareConcurrent(c *simcore.Compiled, table *routing.Table, cfg Conf
 // distance vectors and candidate DAGs across sweeps; the runner's
 // AlltoallPacketShare parallelizes the same sweep.
 func AlltoallShare(c *simcore.Compiled, table *routing.Table, cfg Config, bytes int64, nShifts int, injectGBps float64, seed int64) (float64, error) {
-	p := c.NumEndpoints()
+	return AlltoallShareOver(c, table, cfg, c.Endpoints, bytes, nShifts, injectGBps, seed)
+}
+
+// AlltoallShareOver is AlltoallShare restricted to a subset of endpoints —
+// on a degraded fabric the alltoall runs among the surviving accelerators
+// (see faults.FaultSet.SurvivingEndpoints).
+func AlltoallShareOver(c *simcore.Compiled, table *routing.Table, cfg Config, endpoints []topo.NodeID, bytes int64, nShifts int, injectGBps float64, seed int64) (float64, error) {
+	p := len(endpoints)
 	sim := New(c, table, cfg)
 	sum := 0.0
 	shifts := SampleShifts(p, nShifts, seed)
 	for _, shift := range shifts {
-		res, err := sim.Run(ShiftFlows(c.Endpoints, shift, bytes))
+		res, err := sim.Run(ShiftFlows(endpoints, shift, bytes))
 		if err != nil {
 			return 0, err
 		}

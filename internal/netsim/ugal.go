@@ -55,6 +55,17 @@ func (s *Sim) chooseUGAL(src, dst int32, rng *rand.Rand) int32 {
 		if mid < 0 || mid == src || mid == dst {
 			continue
 		}
+		// On a degraded fabric a sampled intermediate may be cut off (e.g.
+		// a dead switch); detouring through it would strand the packet.
+		// Checking the destination's (already cached) distance vector
+		// avoids building one per sampled switch — exact for the symmetric
+		// masks the fault samplers produce (connectivity is then an
+		// equivalence relation, so mid-connected-to-dst implies src, mid
+		// and dst share a component); for hand-built asymmetric masks
+		// (FailPortDir) the arrive fallback below still recovers.
+		if s.mask != nil && s.table.Dist(topo.NodeID(dst))[mid] < 0 {
+			continue
+		}
 		q := s.bestQueue(src, mid)
 		if q < bestQ {
 			bestQ = q

@@ -21,14 +21,31 @@
 // lookup in the simulator's hot loop is two array indexes. A Table is safe
 // for concurrent use — vectors are published through atomic pointers, which
 // lets the experiment runner share one table across parallel simulations.
+//
+// Degraded fabrics (internal/faults) are first-class: NewTableMask builds a
+// table over a port-mask overlay, recomputing distance vectors and
+// candidate DAGs as if masked ports did not exist, and lookups that hit an
+// unreachable destination return a typed *ErrUnreachable instead of
+// silently producing empty candidate sets or indexing a -1 distance.
 package routing
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
+
+// ErrUnreachable reports that no route exists between two nodes on the
+// (possibly degraded) fabric. Callers match it with errors.As.
+type ErrUnreachable struct {
+	From, To topo.NodeID
+}
+
+func (e *ErrUnreachable) Error() string {
+	return fmt.Sprintf("routing: node %d unreachable from node %d", e.To, e.From)
+}
 
 // MaxVCs is the number of virtual channels required by the HxMesh VC
 // escalation policy (§IV-C3): a packet crosses at most two fat trees.
@@ -43,6 +60,11 @@ const MaxVCs = 3
 type Table struct {
 	C *simcore.Compiled
 
+	// mask is the port-mask overlay of a degraded fabric (nil = pristine).
+	// Distance vectors and candidate DAGs are computed as if masked ports
+	// did not exist, so every consumer of the table routes around faults.
+	mask simcore.PortMask
+
 	dist []atomic.Pointer[[]int32]
 	cand []atomic.Pointer[candVec]
 }
@@ -56,9 +78,16 @@ type candVec struct {
 }
 
 // NewTable creates a routing table over a compiled network.
-func NewTable(c *simcore.Compiled) *Table {
+func NewTable(c *simcore.Compiled) *Table { return NewTableMask(c, nil) }
+
+// NewTableMask creates a routing table over a degraded fabric: ports set in
+// the mask do not exist for route computation. A nil mask is the pristine
+// fabric. The mask must not change after the table is created (a new fault
+// scenario is a new table).
+func NewTableMask(c *simcore.Compiled, mask simcore.PortMask) *Table {
 	return &Table{
 		C:    c,
+		mask: mask,
 		dist: make([]atomic.Pointer[[]int32], c.NumNodes()),
 		cand: make([]atomic.Pointer[candVec], c.NumNodes()),
 	}
@@ -68,17 +97,27 @@ func NewTable(c *simcore.Compiled) *Table {
 // the simcore cache).
 func NewTableNet(n *topo.Network) *Table { return NewTable(simcore.Of(n)) }
 
+// Mask returns the table's port-mask overlay (nil when pristine). Shared,
+// read-only.
+func (t *Table) Mask() simcore.PortMask { return t.mask }
+
 // Dist returns the hop-distance vector toward dst (computing it on first
-// use). dist[v] is the number of links from v to dst.
+// use). dist[v] is the number of links from v to dst, or -1 when dst is
+// unreachable from v on the (possibly degraded) fabric.
 func (t *Table) Dist(dst topo.NodeID) []int32 {
 	if p := t.dist[dst].Load(); p != nil {
 		return *p
 	}
-	d := t.C.BFSFrom(dst)
+	d := t.C.BFSFromMask(dst, t.mask)
 	if t.dist[dst].CompareAndSwap(nil, &d) {
 		return d
 	}
 	return *t.dist[dst].Load()
+}
+
+// Reachable reports whether dst is reachable from src.
+func (t *Table) Reachable(src, dst topo.NodeID) bool {
+	return src == dst || t.Dist(dst)[src] >= 0
 }
 
 // Candidates returns the global port ids (channel ids) of the minimal
@@ -94,6 +133,18 @@ func (t *Table) Candidates(at int32, dst topo.NodeID) []int32 {
 	return cv.ports[cv.off[at]:cv.off[at+1]]
 }
 
+// CandidatesErr is Candidates with explicit unreachability: when node `at`
+// has no minimal candidate toward dst (dst is cut off on the degraded
+// fabric) it returns a typed *ErrUnreachable instead of an empty slice the
+// caller would have to interpret.
+func (t *Table) CandidatesErr(at int32, dst topo.NodeID) ([]int32, error) {
+	cands := t.Candidates(at, dst)
+	if len(cands) == 0 && int32(dst) != at {
+		return nil, &ErrUnreachable{From: topo.NodeID(at), To: dst}
+	}
+	return cands, nil
+}
+
 func (t *Table) buildCand(dst topo.NodeID) *candVec {
 	d := t.Dist(dst)
 	c := t.C
@@ -107,6 +158,9 @@ func (t *Table) buildCand(dst topo.NodeID) *candVec {
 		want := d[u] - 1
 		off, end := c.PortRange(int32(u))
 		for pid := off; pid < end; pid++ {
+			if t.mask.Get(pid) {
+				continue
+			}
 			if d[c.Ports[pid].To] == want {
 				cv.ports = append(cv.ports, pid)
 			}
@@ -130,14 +184,22 @@ func (t *Table) Precompute(dsts []topo.NodeID) {
 
 // NextPorts appends to buf the node-local indexes of ports on node `at`
 // that lie on a shortest path to dst and returns the extended slice. It
-// returns buf unchanged if at == dst.
+// returns buf unchanged if at == dst; see NextPortsErr for explicit
+// unreachability reporting.
 func (t *Table) NextPorts(at, dst topo.NodeID, buf []int) []int {
 	if at == dst {
 		return buf
 	}
 	d := t.Dist(dst)
+	if d[at] < 0 {
+		return buf
+	}
 	want := d[at] - 1
+	off := t.C.PortID(int32(at), 0)
 	for i, p := range t.C.PortsOf(int32(at)) {
+		if t.mask.Get(off + int32(i)) {
+			continue
+		}
 		if d[p.To] == want {
 			buf = append(buf, i)
 		}
@@ -145,16 +207,35 @@ func (t *Table) NextPorts(at, dst topo.NodeID, buf []int) []int {
 	return buf
 }
 
-// PathLen returns the shortest path length in links between two nodes.
+// NextPortsErr is NextPorts with a typed *ErrUnreachable when dst cannot be
+// reached from `at` (historically this case fell through to a -1 distance
+// and an empty port list the caller had to guess about).
+func (t *Table) NextPortsErr(at, dst topo.NodeID, buf []int) ([]int, error) {
+	if at != dst && t.Dist(dst)[at] < 0 {
+		return buf, &ErrUnreachable{From: at, To: dst}
+	}
+	return t.NextPorts(at, dst, buf), nil
+}
+
+// PathLen returns the shortest path length in links between two nodes, or
+// -1 when b is unreachable from a.
 func (t *Table) PathLen(a, b topo.NodeID) int { return int(t.Dist(b)[a]) }
 
 // SamplePath returns one shortest path (as node ids, inclusive of both
 // ends) selected deterministically by the seed among the shortest-path DAG
-// branches. Used by the flow-level solver to enumerate path diversity.
+// branches, or nil when dst is unreachable (see SamplePathErr). Used by
+// the flow-level solver to enumerate path diversity.
 func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
+	path, _ := t.SamplePathErr(src, dst, seed)
+	return path
+}
+
+// SamplePathErr is SamplePath with a typed *ErrUnreachable instead of a nil
+// path when no route exists.
+func (t *Table) SamplePathErr(src, dst topo.NodeID, seed uint64) ([]topo.NodeID, error) {
 	d := t.Dist(dst)
 	if d[src] < 0 {
-		return nil
+		return nil, &ErrUnreachable{From: src, To: dst}
 	}
 	path := make([]topo.NodeID, 0, d[src]+1)
 	path = append(path, src)
@@ -162,18 +243,27 @@ func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
 	rng := seed
 	for at != int32(dst) {
 		want := d[at] - 1
+		off := t.C.PortID(at, 0)
 		ports := t.C.PortsOf(at)
-		// Count candidates, then pick the rng-th.
+		// Count candidates, then pick the rng-th. Masked ports are not
+		// candidates even when their peer is at the right distance (the
+		// peer may be reachable through a different, live port).
 		n := 0
 		for i := range ports {
-			if d[ports[i].To] == want {
+			if !t.mask.Get(off+int32(i)) && d[ports[i].To] == want {
 				n++
 			}
+		}
+		if n == 0 {
+			// Unreachable mid-walk cannot happen when the distance vector
+			// and the mask agree; guard anyway so a future inconsistency
+			// surfaces as an error, not a modulo-by-zero panic.
+			return nil, &ErrUnreachable{From: topo.NodeID(at), To: dst}
 		}
 		rng = rng*6364136223846793005 + 1442695040888963407
 		pick := int(rng>>33) % n
 		for i := range ports {
-			if d[ports[i].To] == want {
+			if !t.mask.Get(off+int32(i)) && d[ports[i].To] == want {
 				if pick == 0 {
 					at = ports[i].To
 					break
@@ -183,7 +273,7 @@ func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
 		}
 		path = append(path, topo.NodeID(at))
 	}
-	return path
+	return path, nil
 }
 
 // VCPolicy decides the virtual channel of a packet after it traverses a

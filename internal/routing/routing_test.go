@@ -1,10 +1,12 @@
 package routing
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
 )
 
@@ -151,5 +153,66 @@ func TestPrecompute(t *testing.T) {
 	}
 	if cached != len(h.Endpoints) {
 		t.Errorf("precomputed %d vectors, want %d", cached, len(h.Endpoints))
+	}
+}
+
+func TestMaskedTableRoutesAroundFailures(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, lp())
+	c := simcore.Of(h.Network)
+	// Fail one cable (both directions) of endpoint 0 and verify routes
+	// avoid it while everything stays reachable.
+	pid := c.PortID(0, 0)
+	mask := simcore.NewPortMask(c.NumPorts())
+	mask.Set(pid)
+	mask.Set(c.Ports[pid].Rev)
+	tab := NewTableMask(c, mask)
+	for _, dst := range h.Endpoints {
+		if dst == 0 {
+			continue
+		}
+		cands, err := tab.CandidatesErr(0, dst)
+		if err != nil {
+			t.Fatalf("dst %d unreachable after one link failure: %v", dst, err)
+		}
+		for _, ci := range cands {
+			if ci == pid {
+				t.Fatalf("candidates toward %d include masked port %d", dst, pid)
+			}
+		}
+	}
+	if got := tab.SamplePath(0, h.Endpoints[5], 3); got == nil {
+		t.Fatal("sample path nil on reachable pair")
+	}
+}
+
+func TestUnreachableIsTypedError(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, lp())
+	c := simcore.Of(h.Network)
+	// Mask every port of endpoint 7 in both directions: it is cut off.
+	mask := simcore.NewPortMask(c.NumPorts())
+	off, end := c.PortRange(7)
+	for pid := off; pid < end; pid++ {
+		mask.Set(pid)
+		mask.Set(c.Ports[pid].Rev)
+	}
+	tab := NewTableMask(c, mask)
+	if tab.Reachable(0, 7) {
+		t.Fatal("cut-off endpoint reported reachable")
+	}
+	var unreach *ErrUnreachable
+	if _, err := tab.CandidatesErr(0, 7); !errors.As(err, &unreach) {
+		t.Fatalf("CandidatesErr = %v, want *ErrUnreachable", err)
+	}
+	if unreach.From != 0 || unreach.To != 7 {
+		t.Fatalf("error carries %d->%d, want 0->7", unreach.From, unreach.To)
+	}
+	if _, err := tab.SamplePathErr(0, 7, 1); !errors.As(err, &unreach) {
+		t.Fatalf("SamplePathErr = %v, want *ErrUnreachable", err)
+	}
+	if _, err := tab.NextPortsErr(0, 7, nil); !errors.As(err, &unreach) {
+		t.Fatalf("NextPortsErr = %v, want *ErrUnreachable", err)
+	}
+	if got := tab.PathLen(0, 7); got != -1 {
+		t.Fatalf("PathLen = %d, want -1", got)
 	}
 }

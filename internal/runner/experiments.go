@@ -19,7 +19,10 @@ import (
 // they stay deterministic for any worker count but are not comparable
 // draw-for-draw with the serial API.
 func (p *Pool) AlltoallPacketShare(c *core.Cluster, cfg netsim.Config, bytes int64, nShifts int, seed int64) (float64, error) {
-	nEp := c.Comp.NumEndpoints()
+	// On a degraded cluster view the alltoall runs among the surviving
+	// endpoints over the fault-masked routing table.
+	eps := c.AliveEndpoints()
+	nEp := len(eps)
 	if nEp < 2 {
 		return 0, fmt.Errorf("runner: need ≥2 endpoints")
 	}
@@ -33,7 +36,7 @@ func (p *Pool) AlltoallPacketShare(c *core.Cluster, cfg netsim.Config, bytes int
 			Name: fmt.Sprintf("alltoall-shift%d", shift),
 			Run: func(ctx *Ctx) (any, error) {
 				res, err := netsim.New(c.Comp, c.Table, jobCfg).Run(
-					netsim.ShiftFlows(c.Comp.Endpoints, shift, bytes))
+					netsim.ShiftFlows(eps, shift, bytes))
 				if err != nil {
 					return nil, err
 				}

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"fmt"
+
+	"hammingmesh/internal/core"
+	"hammingmesh/internal/faults"
+	"hammingmesh/internal/netsim"
+)
+
+// ResiliencePoint is one point of a resilience sweep: delivered alltoall
+// bandwidth and makespan at one link-failure fraction, aggregated over the
+// seeded trials.
+type ResiliencePoint struct {
+	// FailFrac is the requested fraction of failed cables.
+	FailFrac float64
+	// FailedLinks is the mean number of cables actually failed per trial
+	// (the connectivity-preserving sampler may fail fewer near the
+	// disconnection threshold).
+	FailedLinks float64
+	// Share is the mean delivered alltoall bandwidth as a share of
+	// injection, averaged over trials.
+	Share float64
+	// MinShare is the worst trial's share.
+	MinShare float64
+	// Makespan is the mean per-shift makespan in ns.
+	Makespan float64
+	// Trials is the number of seeded trials aggregated.
+	Trials int
+}
+
+// resilienceTrial is one (fraction, trial) job's result.
+type resilienceTrial struct {
+	share    float64
+	makespan float64
+	links    int
+}
+
+// ResilienceSweep measures graceful degradation (§III-E): for each
+// link-failure fraction it builds `trials` independent connectivity-
+// preserving fault sets — on top of `boards` dead boards when the cluster
+// is an HxMesh family — recomputes routing over each degraded fabric, and
+// packet-simulates `shifts` sampled alltoall shift iterations among the
+// surviving endpoints, returning delivered bandwidth and makespan per
+// fraction. Every (fraction, trial) pair is one pool job, so the sweep
+// parallelizes across workers while staying deterministic for any worker
+// count.
+//
+// Within one trial seed the failed-link sets are *nested* across fractions,
+// so the per-trial bandwidth trajectory measures pure degradation: a
+// higher fraction only ever removes paths the lower fraction still had.
+// The BFS-validated acceptance sequence is computed once per trial at the
+// highest fraction (a first round of pool jobs) and lower fractions replay
+// prefixes of it, instead of re-validating every cable per point.
+func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, fracs []float64, trials, shifts int, seed int64, boards int) ([]ResiliencePoint, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	if c.Comp.NumEndpoints() < 2 {
+		return nil, fmt.Errorf("runner: need ≥2 endpoints")
+	}
+	if boards > 0 && c.Hx == nil {
+		return nil, fmt.Errorf("runner: board faults need an HxMesh-family cluster, got %s", c.Net.Meta.Family)
+	}
+	maxFrac := 0.0
+	for _, f := range fracs {
+		if f > maxFrac {
+			maxFrac = f
+		}
+	}
+	inj := c.SimInjectionGBps()
+
+	// Round 1: one job per trial validates the nested failure sequence at
+	// the highest fraction (the expensive per-cable connectivity BFS).
+	baseBuilder := func(tr int) *faults.Builder {
+		b := faults.NewBuilder(c.Comp)
+		if boards > 0 {
+			b.SampleFailedBoards(c.Hx, boards, JobSeed(seed, tr))
+		}
+		return b
+	}
+	seqJobs := make([]Job, trials)
+	for tr := 0; tr < trials; tr++ {
+		tr := tr
+		seqJobs[tr] = Job{
+			Name: fmt.Sprintf("resilience-seq-t%d", tr),
+			Run: func(ctx *Ctx) (any, error) {
+				return baseBuilder(tr).AcceptedConnectedLinks(maxFrac, JobSeed(seed, tr)), nil
+			},
+		}
+	}
+	seqResults := p.Run(seqJobs)
+	if err := FirstErr(seqResults); err != nil {
+		return nil, err
+	}
+	seqs := make([][]int32, trials)
+	for tr := range seqs {
+		seqs[tr] = seqResults[tr].Value.([]int32)
+	}
+
+	// Round 2: one job per (fraction, trial) replays a prefix of the
+	// trial's accepted sequence (every prefix preserves connectivity) and
+	// simulates the sampled shifts.
+	jobs := make([]Job, 0, len(fracs)*trials)
+	for fi, frac := range fracs {
+		for tr := 0; tr < trials; tr++ {
+			frac, tr := frac, tr
+			jobCfg := cfg
+			jobCfg.Seed = JobSeed(cfg.Seed, fi*trials+tr)
+			jobs = append(jobs, Job{
+				Name: fmt.Sprintf("resilience-f%.3f-t%d", frac, tr),
+				Run: func(ctx *Ctx) (any, error) {
+					b := baseBuilder(tr)
+					prefix := seqs[tr]
+					if n := faults.LinkCount(c.Comp, frac); n < len(prefix) {
+						prefix = prefix[:n]
+					}
+					for _, pid := range prefix {
+						b.FailLink(pid)
+					}
+					fs := b.Build()
+					fc := c.WithFaults(fs)
+					eps := fc.AliveEndpoints()
+					sumShare, sumMk := 0.0, 0.0
+					sampled := netsim.SampleShifts(len(eps), shifts, JobSeed(seed, tr)^0x5deece66d)
+					for _, shift := range sampled {
+						res, err := netsim.New(fc.Comp, fc.Table, jobCfg).Run(
+							netsim.ShiftFlows(eps, shift, bytes))
+						if err != nil {
+							return nil, err
+						}
+						sumShare += res.AggregateGBps() / float64(len(eps)) / inj
+						sumMk += res.Makespan
+					}
+					n := float64(len(sampled))
+					return resilienceTrial{
+						share:    sumShare / n,
+						makespan: sumMk / n,
+						links:    len(prefix),
+					}, nil
+				},
+			})
+		}
+	}
+	results := p.Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	points := make([]ResiliencePoint, len(fracs))
+	for fi, frac := range fracs {
+		pt := ResiliencePoint{FailFrac: frac, Trials: trials}
+		for tr := 0; tr < trials; tr++ {
+			t := results[fi*trials+tr].Value.(resilienceTrial)
+			pt.Share += t.share / float64(trials)
+			pt.Makespan += t.makespan / float64(trials)
+			pt.FailedLinks += float64(t.links) / float64(trials)
+			if tr == 0 || t.share < pt.MinShare {
+				pt.MinShare = t.share
+			}
+		}
+		points[fi] = pt
+	}
+	return points, nil
+}

@@ -22,6 +22,7 @@
 package simcore
 
 import (
+	"math/bits"
 	"sync"
 
 	"hammingmesh/internal/topo"
@@ -213,6 +214,85 @@ func (c *Compiled) BFSFrom(src topo.NodeID) []int32 {
 		queue = queue[1:]
 		du := dist[u]
 		for p := c.PortOff[u]; p < c.PortOff[u+1]; p++ {
+			v := c.Ports[p].To
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// PortMask is a bitset over global port ids marking ports that are down
+// (failed link direction, failed switch port, failed endpoint). A nil mask
+// means the pristine fabric. Masks are built by internal/faults and treated
+// as immutable overlays: one Compiled network plus one PortMask fully
+// describe a degraded fabric, and every downstream layer (routing, netsim,
+// flowsim) shares that representation.
+type PortMask []uint64
+
+// NewPortMask returns an empty mask sized for nPorts ports.
+func NewPortMask(nPorts int) PortMask { return make(PortMask, (nPorts+63)/64) }
+
+// Get reports whether port pid is masked (down). A nil mask masks nothing.
+func (m PortMask) Get(pid int32) bool {
+	if m == nil {
+		return false
+	}
+	return m[pid>>6]&(1<<(uint(pid)&63)) != 0
+}
+
+// Set marks port pid as down.
+func (m PortMask) Set(pid int32) { m[pid>>6] |= 1 << (uint(pid) & 63) }
+
+// Clear unmarks port pid.
+func (m PortMask) Clear(pid int32) { m[pid>>6] &^= 1 << (uint(pid) & 63) }
+
+// Count returns the number of masked ports.
+func (m PortMask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of the mask (nil stays nil).
+func (m PortMask) Clone() PortMask {
+	if m == nil {
+		return nil
+	}
+	out := make(PortMask, len(m))
+	copy(out, m)
+	return out
+}
+
+// BFSFromMask is BFSFrom over the degraded fabric: masked ports do not
+// exist. Distances follow the packet direction toward src, so the traversal
+// from src over port p (src side u -> peer v) admits v only when the
+// reverse direction v -> u is up; faults that kill a single direction
+// therefore degrade exactly the routes that would use it. A nil mask
+// matches BFSFrom.
+func (c *Compiled) BFSFromMask(src topo.NodeID, mask PortMask) []int32 {
+	if mask == nil {
+		return c.BFSFrom(src)
+	}
+	dist := make([]int32, c.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, c.NumNodes())
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for p := c.PortOff[u]; p < c.PortOff[u+1]; p++ {
+			if mask.Get(c.Ports[p].Rev) {
+				continue
+			}
 			v := c.Ports[p].To
 			if dist[v] < 0 {
 				dist[v] = du + 1
