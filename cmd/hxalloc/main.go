@@ -8,25 +8,38 @@
 // rather than carried into the next, unlike the previous sequential
 // sampler — a deliberate trade for parallelism).
 //
+// -mode sched switches to the trace-driven cluster scheduler
+// (internal/sched): jobs arrive over simulated time, queue, fail with the
+// boards they run on and restart from checkpoints, sweeping utilization
+// against per-board MTBF, checkpoint interval and placement policy.
+//
 // Usage:
 //
 //	hxalloc -grid 16x16 -mixes 100            # Fig. 8 on the small Hx2Mesh
 //	hxalloc -grid 32x32 -mixes 50 -failures 100  # Fig. 10, large Hx4Mesh
 //	hxalloc -cdf                               # Fig. 7 distribution
+//	hxalloc -mode sched -grid 8x8 -jobs 200 -mtbf 0,120,40 -ckpt 1,4
+//	hxalloc -mode sched -trace trace.json -mtbf 0,100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
+	"hammingmesh/internal/core"
 	"hammingmesh/internal/runner"
+	"hammingmesh/internal/sched"
 	"hammingmesh/internal/workload"
 )
 
 func main() {
+	mode := flag.String("mode", "fig8", "experiment: fig8 (static mixes) or sched (trace-driven scheduler)")
 	grid := flag.String("grid", "16x16", "board grid (XxY)")
 	mixes := flag.Int("mixes", 100, "number of random job mixes (paper: 1000)")
 	failures := flag.Int("failures", 0, "randomly failed boards")
@@ -34,6 +47,19 @@ func main() {
 	board := flag.Int("board", 4, "accelerators per board (4 for Hx2Mesh, 16 for Hx4Mesh)")
 	cdf := flag.Bool("cdf", false, "print the job-size board CDF (Fig. 7) and exit")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the mix sweep")
+
+	// -mode sched flags.
+	jobs := flag.Int("jobs", 200, "sched: synthetic trace length")
+	arrival := flag.Float64("arrival", 4, "sched: Poisson arrival rate, jobs/hour")
+	service := flag.Float64("service", 3, "sched: mean job service time, hours (Pareto tail)")
+	commfrac := flag.Float64("commfrac", 0.3, "sched: communication share of each job")
+	horizon := flag.Float64("horizon", 60, "sched: simulated horizon, hours")
+	repair := flag.Float64("repair", 10, "sched: board repair time (MTTR), hours")
+	mtbfList := flag.String("mtbf", "0,500,120,40", "sched: per-board MTBF values in hours (0 = no failures)")
+	ckptList := flag.String("ckpt", "2", "sched: checkpoint intervals in hours (0 = continuous)")
+	policyList := flag.String("policies", "firstfit,bestfit,fragaware", "sched: placement policies")
+	trials := flag.Int("trials", 4, "sched: seeded trials per point")
+	traceFile := flag.String("trace", "", "sched: JSON trace file (overrides the synthetic generator)")
 	flag.Parse()
 
 	d := workload.AlibabaLike()
@@ -54,6 +80,19 @@ func main() {
 		os.Exit(1)
 	}
 	pool := runner.NewSeeded(*parallel, *seed)
+
+	if *mode == "sched" {
+		runSched(pool, x, y, *board, schedFlags{
+			jobs: *jobs, arrival: *arrival, service: *service, commfrac: *commfrac,
+			horizon: *horizon, repair: *repair, mtbfs: *mtbfList, ckpts: *ckptList,
+			policies: *policyList, trials: *trials, seed: *seed, traceFile: *traceFile,
+		})
+		return
+	}
+	if *mode != "fig8" {
+		fmt.Fprintf(os.Stderr, "bad -mode %q (fig8|sched)\n", *mode)
+		os.Exit(1)
+	}
 	fmt.Printf("grid %dx%d (%d boards), %d mixes, %d failed boards, %d workers\n\n",
 		x, y, x*y, *mixes, *failures, pool.Workers())
 	fmt.Printf("%-42s %6s %6s %6s | %9s %9s\n", "heuristics (Fig. 8)", "mean", "median", "p99", "a2a-upper", "ar-upper")
@@ -90,4 +129,94 @@ func main() {
 			h.Name, 100*s.Mean, 100*s.Median, 100*s.P99,
 			100*a2a/float64(*mixes), 100*ar/float64(*mixes))
 	}
+}
+
+type schedFlags struct {
+	jobs                              int
+	arrival, service, commfrac        float64
+	horizon, repair                   float64
+	mtbfs, ckpts, policies, traceFile string
+	trials                            int
+	seed                              int64
+}
+
+// runSched drives runner.SchedSweep: the utilization-vs-MTBF study on a
+// live cluster with checkpoint/restart.
+func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
+	side := int(math.Sqrt(float64(accelsPerBoard)))
+	if side < 1 || side*side != accelsPerBoard {
+		fatalf("bad -board %d: want a square accelerator count (4, 16, ...)", accelsPerBoard)
+	}
+	c := core.NewHxMesh(side, side, x, y)
+	mtbfs := parseFloats(f.mtbfs, "-mtbf")
+	ckpts := parseFloats(f.ckpts, "-ckpt")
+	var policies []sched.Policy
+	for _, s := range strings.Split(f.policies, ",") {
+		p, err := sched.ParsePolicy(strings.TrimSpace(s))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		policies = append(policies, p)
+	}
+	cfg := runner.SchedSweepConfig{
+		Trace: sched.TraceConfig{
+			Jobs: f.jobs, ArrivalRate: f.arrival, MeanService: f.service,
+			AccelsPerBoard: accelsPerBoard, MaxBoards: x * y, CommFrac: f.commfrac,
+		},
+		Base:         sched.Config{HorizonH: f.horizon, RepairH: f.repair},
+		MTBFs:        mtbfs,
+		CheckpointsH: ckpts,
+		Policies:     policies,
+		Trials:       f.trials,
+		Seed:         f.seed,
+	}
+	if f.traceFile != "" {
+		file, err := os.Open(f.traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.FixedTrace, err = sched.LoadTrace(file)
+		file.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	pts, err := pool.SchedSweep(c, cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("scheduler sweep: %dx%d boards, horizon %gh, repair %gh, %d trials, %d workers\n\n",
+		x, y, f.horizon, f.repair, f.trials, pool.Workers())
+	fmt.Printf("%-9s %6s %7s | %8s %8s %6s | %7s %7s %7s %7s | %6s %6s\n",
+		"policy", "ckpt-h", "mtbf-h", "goodput", "util", "lost", "waitP50", "waitP99", "slowP50", "slowP99", "done", "evict")
+	for i, pt := range pts {
+		if i > 0 && (pt.Policy != pts[i-1].Policy || pt.CheckpointH != pts[i-1].CheckpointH) {
+			fmt.Println()
+		}
+		mtbf := "inf"
+		if pt.MTBFh > 0 {
+			mtbf = fmt.Sprintf("%g", pt.MTBFh)
+		}
+		fmt.Printf("%-9s %6g %7s | %7.1f%% %7.1f%% %5.1f%% | %7.2f %7.2f %7.2f %7.2f | %6.0f %6.1f\n",
+			pt.Policy, pt.CheckpointH, mtbf,
+			100*pt.Goodput, 100*pt.Utilization, 100*pt.LostFrac,
+			pt.WaitP50, pt.WaitP99, pt.SlowP50, pt.SlowP99, pt.Completed, pt.Evictions)
+	}
+}
+
+func parseFloats(s, flagName string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 {
+			fatalf("bad %s entry %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

@@ -59,6 +59,17 @@ func (g *Grid) Fail(bx, by int) int32 {
 	return prev
 }
 
+// Repair returns a failed board to service (the scheduler's MTTR model)
+// and reports whether the board was actually failed; repairing a free or
+// owned board is a no-op.
+func (g *Grid) Repair(bx, by int) bool {
+	if g.owner[by*g.X+bx] != Failed {
+		return false
+	}
+	g.owner[by*g.X+bx] = Free
+	return true
+}
+
 // Release frees all boards of a job.
 func (g *Grid) Release(job int32) {
 	for i, o := range g.owner {
@@ -273,6 +284,103 @@ func shapes(u, v int, opt Options) [][2]int {
 	return out
 }
 
+// ErrNoCapacity reports that a job does not fit the grid's current free
+// boards: some allowed shape fits the grid dimensions, so the request can
+// succeed later once capacity frees up (schedulers should queue it).
+type ErrNoCapacity struct {
+	Job  int32
+	U, V int
+	Free int // free boards at the time of the attempt
+}
+
+func (e *ErrNoCapacity) Error() string {
+	return fmt.Sprintf("alloc: no capacity for job %d (%dx%d boards, %d free)", e.Job, e.U, e.V, e.Free)
+}
+
+// ErrNeverFits reports that no allowed shape of the job fits the grid's
+// dimensions even when every board is free: the request can never succeed
+// on this grid (schedulers should reject it rather than queue it).
+type ErrNeverFits struct {
+	Job  int32
+	U, V int
+	X, Y int
+}
+
+func (e *ErrNeverFits) Error() string {
+	return fmt.Sprintf("alloc: job %d (%dx%d boards) can never fit a %dx%d grid", e.Job, e.U, e.V, e.X, e.Y)
+}
+
+// PlaceCandidates returns one uncommitted candidate placement per feasible
+// shape of a u×v job under the options, in shape-preference order. The grid
+// is not modified; callers score the candidates with their own policy and
+// commit the winner with Commit. Candidates overlap (they draw from the
+// same free boards), so at most one may be committed.
+func (g *Grid) PlaceCandidates(job int32, u, v int, opt Options) []*Placement {
+	if job < 0 {
+		panic(fmt.Sprintf("alloc: invalid job id %d", job))
+	}
+	groupBoards := opt.TreeGroupBoards
+	if groupBoards <= 0 {
+		groupBoards = 16
+	}
+	var out []*Placement
+	for _, s := range shapes(u, v, opt) {
+		if p, ok := g.placeShape(job, s[0], s[1], groupBoards); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// placeShape runs the greedy row-intersection search for one concrete
+// shape and builds the (uncommitted) placement.
+func (g *Grid) placeShape(job int32, u, v, groupBoards int) (*Placement, bool) {
+	rows, cols, ok := g.place(u, v)
+	if !ok {
+		return nil, false
+	}
+	colIdx := cols.indices(g.X)
+	// The intersection may hold more than v columns; pick the v columns
+	// that minimize spread (consecutive window with the fewest L1-group
+	// crossings), a cheap locality refinement.
+	colIdx = bestWindow(colIdx, v, groupBoards)
+	return &Placement{Job: job, Rows: append([]int{}, rows...), Cols: colIdx}, true
+}
+
+// FitsDims reports whether some allowed shape of a u×v job fits the grid
+// dimensions with every board free — the permanent-feasibility criterion
+// behind ErrNeverFits (a pure dimension check; no grid state is read).
+// Schedulers use it to drop impossible jobs instead of queueing them.
+func (g *Grid) FitsDims(u, v int, opt Options) bool {
+	for _, s := range shapes(u, v, opt) {
+		if s[0] >= 1 && s[1] >= 1 && s[0] <= g.Y && s[1] <= g.X {
+			return true
+		}
+	}
+	return false
+}
+
+// AllocateErr places a u×v job like Allocate, but reports failure as a
+// typed error: *ErrNeverFits when no allowed shape fits the grid dimensions
+// at all, *ErrNoCapacity when the job merely does not fit the current free
+// boards. Schedulers use the distinction to drop impossible jobs instead of
+// queueing them forever.
+func (g *Grid) AllocateErr(job int32, u, v int, opt Options) (*Placement, error) {
+	if p, ok := g.Allocate(job, u, v, opt); ok {
+		return p, nil
+	}
+	if !g.FitsDims(u, v, opt) {
+		return nil, &ErrNeverFits{Job: job, U: u, V: v, X: g.X, Y: g.Y}
+	}
+	free := 0
+	for _, o := range g.owner {
+		if o == Free {
+			free++
+		}
+	}
+	return nil, &ErrNoCapacity{Job: job, U: u, V: v, Free: free}
+}
+
 // Allocate places a u×v job, applying the enabled heuristics, and commits
 // the first (or, with Locality, best-scoring) placement. It returns false
 // when no shape fits.
@@ -284,33 +392,44 @@ func (g *Grid) Allocate(job int32, u, v int, opt Options) (*Placement, bool) {
 	if groupBoards <= 0 {
 		groupBoards = 16
 	}
-	var best *Placement
-	bestScore := 0.0
-	for _, s := range shapes(u, v, opt) {
-		rows, cols, ok := g.place(s[0], s[1])
-		if !ok {
-			continue
+	if !opt.Locality {
+		// First feasible shape wins: stop searching at the first fit
+		// instead of enumerating every candidate.
+		for _, s := range shapes(u, v, opt) {
+			if p, ok := g.placeShape(job, s[0], s[1], groupBoards); ok {
+				g.commit(p)
+				return p, true
+			}
 		}
-		colIdx := cols.indices(g.X)
-		// The intersection may hold more than v columns; pick the v
-		// columns that minimize spread (consecutive window with the
-		// fewest L1-group crossings), a cheap locality refinement.
-		colIdx = bestWindow(colIdx, s[1], groupBoards)
-		p := &Placement{Job: job, Rows: append([]int{}, rows...), Cols: colIdx}
-		if !opt.Locality {
-			g.commit(p)
-			return p, true
-		}
-		score := UpperLayerFraction(p, TrafficAlltoall, groupBoards)
-		if best == nil || score < bestScore {
+		return nil, false
+	}
+	cands := g.PlaceCandidates(job, u, v, opt)
+	if len(cands) == 0 {
+		return nil, false
+	}
+	best, bestScore := cands[0], UpperLayerFraction(cands[0], TrafficAlltoall, groupBoards)
+	for _, p := range cands[1:] {
+		if score := UpperLayerFraction(p, TrafficAlltoall, groupBoards); score < bestScore {
 			best, bestScore = p, score
 		}
 	}
-	if best == nil {
-		return nil, false
-	}
 	g.commit(best)
 	return best, true
+}
+
+// Commit marks a candidate placement's boards as owned, with a typed error
+// when a board is no longer free (the candidate went stale). It is the
+// exported counterpart of the internal commit used by Allocate.
+func (g *Grid) Commit(p *Placement) error {
+	for _, r := range p.Rows {
+		for _, c := range p.Cols {
+			if g.owner[r*g.X+c] != Free {
+				return fmt.Errorf("alloc: board (%d,%d) not free (owner %d); candidate is stale", c, r, g.owner[r*g.X+c])
+			}
+		}
+	}
+	g.commit(p)
+	return nil
 }
 
 // bestWindow picks w consecutive entries of sorted idx minimizing the

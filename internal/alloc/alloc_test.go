@@ -244,3 +244,105 @@ func TestLargeGridAllocationFast(t *testing.T) {
 		t.Errorf("placed %d/200 jobs on an empty 1000x1000 grid", placed)
 	}
 }
+
+// Fragmentation accounting stays exact through repeated alloc/fail/free/
+// repair cycles: owner counts derived from the public accessors always
+// match a brute-force scan, allocated+free+failed covers the grid, and
+// utilization is allocated/working. This is the bookkeeping the scheduler
+// (internal/sched) integrates over simulated time.
+func TestAccountingAfterAllocFailFreeCycles(t *testing.T) {
+	const x, y = 12, 10
+	g := NewGrid(x, y)
+	rng := rand.New(rand.NewSource(31))
+	live := map[int32]*Placement{}
+	failed := map[[2]int]bool{}
+	next := int32(0)
+	check := func(step int) {
+		t.Helper()
+		alloc, free, fail := 0, 0, 0
+		for by := 0; by < y; by++ {
+			for bx := 0; bx < x; bx++ {
+				switch o := g.Owner(bx, by); {
+				case o >= 0:
+					alloc++
+				case o == Free:
+					free++
+				case o == Failed:
+					fail++
+				default:
+					t.Fatalf("step %d: board (%d,%d) has owner %d", step, bx, by, o)
+				}
+			}
+		}
+		if alloc+free+fail != x*y {
+			t.Fatalf("step %d: %d+%d+%d != %d boards", step, alloc, free, fail, x*y)
+		}
+		if got := g.AllocatedBoards(); got != alloc {
+			t.Fatalf("step %d: AllocatedBoards %d, brute force %d", step, got, alloc)
+		}
+		if got := g.WorkingBoards(); got != x*y-fail {
+			t.Fatalf("step %d: WorkingBoards %d, brute force %d", step, got, x*y-fail)
+		}
+		if fail != len(failed) {
+			t.Fatalf("step %d: %d failed boards, tracked %d", step, fail, len(failed))
+		}
+		want := 0.0
+		if x*y-fail > 0 {
+			want = float64(alloc) / float64(x*y-fail)
+		}
+		if got := g.Utilization(); got != want {
+			t.Fatalf("step %d: Utilization %g, want %g", step, got, want)
+		}
+		var ps []*Placement
+		for _, p := range live {
+			ps = append(ps, p)
+		}
+		if err := g.Validate(ps); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // allocate
+			u, v := 1+rng.Intn(4), 1+rng.Intn(4)
+			if p, ok := g.Allocate(next, u, v, DefaultOptions()); ok {
+				live[next] = p
+				next++
+			}
+		case op < 7: // release a random job
+			for id := range live {
+				g.Release(id)
+				delete(live, id)
+				break
+			}
+		case op < 9: // fail a random board (evicts its owner)
+			bx, by := rng.Intn(x), rng.Intn(y)
+			prev := g.Fail(bx, by)
+			failed[[2]int{bx, by}] = true
+			if prev >= 0 {
+				delete(live, prev)
+			}
+		default: // repair a failed board
+			for b := range failed {
+				if !g.Repair(b[0], b[1]) {
+					t.Fatalf("step %d: repair of tracked failed board (%d,%d) was a no-op", step, b[0], b[1])
+				}
+				delete(failed, b)
+				break
+			}
+		}
+		check(step)
+	}
+	// Drain: release everything, repair everything; the grid must be
+	// fully free again.
+	for id := range live {
+		g.Release(id)
+	}
+	for b := range failed {
+		g.Repair(b[0], b[1])
+	}
+	if g.AllocatedBoards() != 0 || g.WorkingBoards() != x*y || g.Utilization() != 0 {
+		t.Fatalf("drained grid not pristine: alloc %d working %d util %g",
+			g.AllocatedBoards(), g.WorkingBoards(), g.Utilization())
+	}
+}

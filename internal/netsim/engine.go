@@ -176,6 +176,11 @@ type Sim struct {
 	// pristine): the engine refuses to enqueue packets on masked ports.
 	mask simcore.PortMask
 
+	// ugalCum caches the cumulative live-port weights of the switch index
+	// for fault-aware UGAL intermediate sampling (built lazily; nil on
+	// the pristine fabric, where sampling stays uniform).
+	ugalCum []int32
+
 	channels []channel // indexed by compiled port id
 
 	// CreditFC state, indexed by node*MaxVCs+vc: input-buffer occupancy

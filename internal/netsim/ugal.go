@@ -51,18 +51,21 @@ func (s *Sim) chooseUGAL(src, dst int32, rng *rand.Rand) int32 {
 	bestMid := int32(-1)
 	bestQ := minQ * bias
 	for k := 0; k < cands; k++ {
+		// On a degraded fabric, sample intermediates weighted by their
+		// live-port counts instead of uniformly: dead switches (weight 0)
+		// are never proposed and heavily masked regions are proposed
+		// rarely, so every candidate draw contributes non-minimal path
+		// diversity instead of being rejected. The pristine fabric keeps
+		// the uniform sampler (bit-identical golden outputs).
 		mid := s.randomSwitch(rng)
 		if mid < 0 || mid == src || mid == dst {
 			continue
 		}
-		// On a degraded fabric a sampled intermediate may be cut off (e.g.
-		// a dead switch); detouring through it would strand the packet.
-		// Checking the destination's (already cached) distance vector
-		// avoids building one per sampled switch — exact for the symmetric
-		// masks the fault samplers produce (connectivity is then an
-		// equivalence relation, so mid-connected-to-dst implies src, mid
-		// and dst share a component); for hand-built asymmetric masks
-		// (FailPortDir) the arrive fallback below still recovers.
+		// A live-port-weighted switch can still be cut off from the
+		// destination through a distant partition; the destination's
+		// (already cached) distance vector is exact for the symmetric
+		// masks the fault samplers produce. For hand-built asymmetric
+		// masks (FailPortDir) the arrive fallback below still recovers.
 		if s.mask != nil && s.table.Dist(topo.NodeID(dst))[mid] < 0 {
 			continue
 		}
@@ -90,11 +93,60 @@ func (s *Sim) bestQueue(at, toward int32) float64 {
 	return best
 }
 
-// randomSwitch picks a random switch node from the compiled switch index.
+// randomSwitch picks a random switch node from the compiled switch index:
+// uniformly on the pristine fabric, weighted by per-switch live-port
+// counts on a degraded one (see weightedSwitch).
 func (s *Sim) randomSwitch(rng *rand.Rand) int32 {
 	sw := s.comp.Switches
 	if len(sw) == 0 {
 		return -1
 	}
+	if s.mask != nil {
+		return s.weightedSwitch(rng)
+	}
 	return int32(sw[rng.Intn(len(sw))])
+}
+
+// weightedSwitch samples a switch with probability proportional to its
+// live (unmasked) port count — the per-region weighting that replaces
+// rejection-sampling dead intermediates on degraded fabrics. The
+// cumulative weights are built lazily on first use (one pass over the
+// switch ports) and shared by every draw of the simulation.
+func (s *Sim) weightedSwitch(rng *rand.Rand) int32 {
+	if s.ugalCum == nil {
+		s.buildSwitchWeights()
+	}
+	total := s.ugalCum[len(s.ugalCum)-1]
+	if total == 0 {
+		return -1 // every switch is fully masked
+	}
+	pick := int32(rng.Intn(int(total)))
+	// Binary search for the first cumulative weight above pick.
+	lo, hi := 0, len(s.ugalCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.ugalCum[mid] > pick {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return int32(s.comp.Switches[lo])
+}
+
+// buildSwitchWeights fills ugalCum with the cumulative live-port counts of
+// the compiled switch index under the simulation's mask.
+func (s *Sim) buildSwitchWeights() {
+	cum := make([]int32, len(s.comp.Switches))
+	run := int32(0)
+	for i, sw := range s.comp.Switches {
+		off, end := s.comp.PortRange(int32(sw))
+		for pid := off; pid < end; pid++ {
+			if !s.mask.Get(pid) {
+				run++
+			}
+		}
+		cum[i] = run
+	}
+	s.ugalCum = cum
 }

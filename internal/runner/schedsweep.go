@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"fmt"
+
+	"hammingmesh/internal/core"
+	"hammingmesh/internal/sched"
+)
+
+// SchedSweepConfig describes a scheduler sweep: one trace-driven cluster
+// simulation per (policy, checkpoint interval, MTBF, trial), all on the
+// same board grid.
+type SchedSweepConfig struct {
+	// Trace parameterizes the synthetic trace; each trial draws its own
+	// trace from a deterministic per-trial seed.
+	Trace sched.TraceConfig
+	// FixedTrace, when non-nil, replaces the synthetic traces: every
+	// trial replays this exact trace (e.g. one loaded with
+	// sched.LoadTrace) and trials differ only in their failure draws.
+	FixedTrace []sched.TraceJob
+	// Base is the scheduler config template; Policy and CheckpointH are
+	// overridden per point. Base.HorizonH must be positive. A nil
+	// Base.Slowdown defaults to the communication model for the
+	// cluster's board type, shared (with its shape cache) across all
+	// jobs of the sweep.
+	Base sched.Config
+	// MTBFs are the per-board mean-time-between-failure values in hours;
+	// 0 means no failures. Order is preserved in the result.
+	MTBFs []float64
+	// CheckpointsH are the checkpoint intervals to sweep.
+	CheckpointsH []float64
+	// Policies are the placement policies to sweep.
+	Policies []sched.Policy
+	// Trials is the number of seeded trials per point (min 1).
+	Trials int
+	// Seed derives every per-trial trace, board sequence and failure
+	// process.
+	Seed int64
+}
+
+// SchedPoint aggregates the trials of one (policy, checkpoint, MTBF)
+// combination. Mean values are over trials.
+type SchedPoint struct {
+	Policy      sched.Policy
+	CheckpointH float64
+	// MTBFh is the per-board MTBF of the point (0 = no failures).
+	MTBFh float64
+	// Goodput is the mean fraction of raw board-hours converted to
+	// checkpoint-surviving work — the utilization-vs-MTBF curve. Within
+	// one (policy, checkpoint) group the per-trial failure sets are
+	// nested across MTBFs, so the mean curve measures degradation, not
+	// sampling noise.
+	Goodput float64
+	// MinGoodput is the worst trial's goodput.
+	MinGoodput float64
+	// Utilization is the mean time-averaged allocated/working fraction.
+	Utilization float64
+	// LostFrac is the mean share of performed work destroyed by
+	// evictions.
+	LostFrac float64
+	// WaitP50/WaitP99 and SlowP50/SlowP99 are means of the per-trial
+	// percentiles.
+	WaitP50, WaitP99 float64
+	SlowP50, SlowP99 float64
+	// Completed and Evictions are mean counts per trial.
+	Completed, Evictions float64
+	Trials               int
+}
+
+// SchedSweep runs the scheduler sweep on the pool, one job per (point,
+// trial), and returns the points in (policy, checkpoint, MTBF) list order.
+// Every trial draws its trace, board-failure order and failure timing from
+// seeds derived only from cfg.Seed and the trial index, so results are
+// identical for any worker count; within a trial the failure sets are
+// nested across MTBF values (sched.Failures), which makes the goodput
+// curve of each (policy, checkpoint) group measure monotone degradation.
+func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, error) {
+	if c.Hx == nil || c.Grid == nil {
+		return nil, fmt.Errorf("runner: scheduler sweeps need an HxMesh-family cluster, got %s", c.Net.Meta.Family)
+	}
+	if cfg.Base.HorizonH <= 0 {
+		return nil, fmt.Errorf("runner: SchedSweepConfig.Base needs a positive HorizonH")
+	}
+	if len(cfg.MTBFs) == 0 || len(cfg.CheckpointsH) == 0 || len(cfg.Policies) == 0 {
+		return nil, fmt.Errorf("runner: scheduler sweep needs at least one MTBF, checkpoint and policy")
+	}
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	base := cfg.Base
+	if base.Slowdown == nil {
+		base.Slowdown = sched.NewCommSlowdown(c.Hx.Cfg.A, c.Hx.Cfg.B)
+	}
+	// The failure process is sampled once per trial at the shortest
+	// positive MTBF and thinned per point (nested sets).
+	minMTBF := 0.0
+	for _, m := range cfg.MTBFs {
+		if m > 0 && (minMTBF == 0 || m < minMTBF) {
+			minMTBF = m
+		}
+	}
+	x, y := c.Grid.X, c.Grid.Y
+
+	type pointKey struct {
+		pi, ci, mi int
+	}
+	var keys []pointKey
+	for pi := range cfg.Policies {
+		for ci := range cfg.CheckpointsH {
+			for mi := range cfg.MTBFs {
+				keys = append(keys, pointKey{pi, ci, mi})
+			}
+		}
+	}
+
+	// Per-trial inputs are shared by every point of the trial; build them
+	// as a first round of pool jobs (trace synthesis and failure sampling
+	// are the sweep's only serial state).
+	type trialInput struct {
+		trace []sched.TraceJob
+		fp    *sched.Failures
+	}
+	prepJobs := make([]Job, trials)
+	for tr := 0; tr < trials; tr++ {
+		tr := tr
+		prepJobs[tr] = Job{
+			Name: fmt.Sprintf("sched-prep-t%d", tr),
+			Run: func(ctx *Ctx) (any, error) {
+				seed := JobSeed(cfg.Seed, tr)
+				in := &trialInput{trace: cfg.FixedTrace}
+				if in.trace == nil {
+					in.trace = sched.Synthetic(cfg.Trace, seed)
+				}
+				if minMTBF > 0 {
+					boards := sched.BoardSequence(c.Hx, c.Comp, seed)
+					in.fp = sched.NewFailures(boards, base.HorizonH, minMTBF, seed)
+				}
+				return in, nil
+			},
+		}
+	}
+	prepResults := p.Run(prepJobs)
+	if err := FirstErr(prepResults); err != nil {
+		return nil, err
+	}
+	inputs := make([]*trialInput, trials)
+	for tr := range inputs {
+		inputs[tr] = prepResults[tr].Value.(*trialInput)
+	}
+
+	jobs := make([]Job, 0, len(keys)*trials)
+	for _, k := range keys {
+		for tr := 0; tr < trials; tr++ {
+			k, tr := k, tr
+			runCfg := base
+			runCfg.Policy = cfg.Policies[k.pi]
+			runCfg.CheckpointH = cfg.CheckpointsH[k.ci]
+			jobs = append(jobs, Job{
+				Name: fmt.Sprintf("sched-%s-ckpt%g-mtbf%g-t%d",
+					runCfg.Policy, runCfg.CheckpointH, cfg.MTBFs[k.mi], tr),
+				Run: func(ctx *Ctx) (any, error) {
+					in := inputs[tr]
+					var fails []sched.FailEvent
+					if mtbf := cfg.MTBFs[k.mi]; mtbf > 0 && in.fp != nil {
+						fails = in.fp.Thin(mtbf)
+					}
+					return sched.Run(x, y, in.trace, fails, runCfg)
+				},
+			})
+		}
+	}
+	results := p.Run(jobs)
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+
+	points := make([]SchedPoint, len(keys))
+	for ki, k := range keys {
+		pt := SchedPoint{
+			Policy:      cfg.Policies[k.pi],
+			CheckpointH: cfg.CheckpointsH[k.ci],
+			MTBFh:       cfg.MTBFs[k.mi],
+			Trials:      trials,
+		}
+		for tr := 0; tr < trials; tr++ {
+			m := results[ki*trials+tr].Value.(*sched.Metrics)
+			n := float64(trials)
+			pt.Goodput += m.Goodput / n
+			pt.Utilization += m.Utilization / n
+			pt.LostFrac += m.LostFrac / n
+			pt.WaitP50 += m.WaitP50 / n
+			pt.WaitP99 += m.WaitP99 / n
+			pt.SlowP50 += m.SlowP50 / n
+			pt.SlowP99 += m.SlowP99 / n
+			pt.Completed += float64(m.Completed) / n
+			pt.Evictions += float64(m.Evictions) / n
+			if tr == 0 || m.Goodput < pt.MinGoodput {
+				pt.MinGoodput = m.Goodput
+			}
+		}
+		points[ki] = pt
+	}
+	return points, nil
+}

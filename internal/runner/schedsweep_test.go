@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"hammingmesh/internal/sched"
+)
+
+func schedSweepTestConfig() SchedSweepConfig {
+	return SchedSweepConfig{
+		Trace:        sched.TraceConfig{Jobs: 150, ArrivalRate: 4, MeanService: 3, MaxBoards: 12, CommFrac: 0.3},
+		Base:         sched.Config{HorizonH: 60, RepairH: 10},
+		MTBFs:        []float64{0, 120, 40, 12},
+		CheckpointsH: []float64{2},
+		Policies:     []sched.Policy{sched.FirstFit, sched.BestFit},
+		Trials:       6,
+		Seed:         42,
+	}
+}
+
+// The acceptance property of the scheduler subsystem: the utilization-vs-
+// MTBF curve (goodput — checkpoint-surviving work per raw board-hour) is
+// monotone non-increasing in the failure rate for a fixed checkpoint
+// interval and policy. Per-trial failure sets are nested across MTBFs
+// (sched.Failures thinning), so the averaged curve measures degradation.
+func TestSchedSweepMonotone(t *testing.T) {
+	pool := NewSeeded(8, 1)
+	c, err := pool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := schedSweepTestConfig()
+	pts, err := pool.SchedSweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPoint := len(cfg.MTBFs)
+	if len(pts) != len(cfg.Policies)*len(cfg.CheckpointsH)*perPoint {
+		t.Fatalf("got %d points, want %d", len(pts), len(cfg.Policies)*len(cfg.CheckpointsH)*perPoint)
+	}
+	for g := 0; g+perPoint <= len(pts); g += perPoint {
+		group := pts[g : g+perPoint]
+		for i, pt := range group {
+			t.Logf("%-9s ckpt=%g mtbf=%5g: goodput %.4f (min %.4f) util %.4f lost %.4f evict %.1f",
+				pt.Policy, pt.CheckpointH, pt.MTBFh, pt.Goodput, pt.MinGoodput, pt.Utilization, pt.LostFrac, pt.Evictions)
+			if pt.Trials != cfg.Trials {
+				t.Fatalf("point %d has %d trials, want %d", g+i, pt.Trials, cfg.Trials)
+			}
+			if i == 0 {
+				// The MTBF list starts failure-free: no evictions, no loss.
+				if pt.MTBFh != 0 || pt.Evictions != 0 || pt.LostFrac != 0 {
+					t.Fatalf("zero-failure point: mtbf %g evictions %g lost %g", pt.MTBFh, pt.Evictions, pt.LostFrac)
+				}
+				continue
+			}
+			if pt.Goodput > group[i-1].Goodput+1e-12 {
+				t.Fatalf("%s ckpt=%g: goodput increased with failure rate: %.6f @mtbf=%g -> %.6f @mtbf=%g",
+					pt.Policy, pt.CheckpointH, group[i-1].Goodput, group[i-1].MTBFh, pt.Goodput, pt.MTBFh)
+			}
+			if pt.Evictions < group[i-1].Evictions {
+				t.Fatalf("%s ckpt=%g: evictions decreased with failure rate", pt.Policy, pt.CheckpointH)
+			}
+		}
+	}
+}
+
+// Sweep results are independent of the worker count (the repo-wide runner
+// invariant): a serial pool and a parallel pool produce identical points.
+func TestSchedSweepWorkerCountInvariant(t *testing.T) {
+	cfg := schedSweepTestConfig()
+	cfg.Trace.Jobs = 60
+	cfg.MTBFs = []float64{0, 30}
+	cfg.Trials = 2
+	cfg.Policies = []sched.Policy{sched.FragAware}
+
+	serialPool := NewSeeded(1, 1)
+	c, err := serialPool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialPool.SchedSweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelPool := NewSeeded(8, 999) // different base seed: must not matter
+	c2, err := parallelPool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := parallelPool.SchedSweep(c2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("sweep depends on pool shape:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}

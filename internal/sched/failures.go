@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"hammingmesh/internal/faults"
+	"hammingmesh/internal/simcore"
+	"hammingmesh/internal/topo"
+)
+
+// FailEvent is one board failure of the background failure process.
+type FailEvent struct {
+	// Time is the failure time in hours.
+	Time float64
+	// Board is the failed board's (bx, by) grid coordinate.
+	Board [2]int
+	// u is the thinning mark: the event is kept at aggregate failure rate
+	// r when u ≤ r/maxRate (standard Poisson thinning), which makes the
+	// kept sets nested across rates under one seed.
+	u float64
+}
+
+// Failures is a pre-sampled board-failure process at a maximum aggregate
+// rate; Thin extracts the (nested) subset for any milder per-board MTBF.
+// Nesting is what makes utilization-vs-MTBF sweeps measure degradation
+// rather than sampling noise: under one seed, a shorter MTBF replays every
+// failure of a longer one and adds more (the same guarantee the link-fault
+// samplers in internal/faults give resilience sweeps).
+type Failures struct {
+	events   []FailEvent // ascending by time, sampled at maxRate
+	maxRate  float64     // aggregate failures/hour at the shortest MTBF
+	boards   int         // boards in the grid
+	horizonH float64
+}
+
+// BoardSequence returns the seeded nested board order used for failure
+// identities: the faults.SampleBoards permutation of the HxMesh's boards
+// (the same sequence a resilience sweep would power off).
+func BoardSequence(h *topo.HxMesh, c *simcore.Compiled, seed int64) [][2]int {
+	return faults.SampleBoards(h, c, h.Cfg.X*h.Cfg.Y, seed).FailedBoards()
+}
+
+// gridBoardSequence is a seeded board permutation for pure-grid scheduling
+// (no compiled cluster at hand): a Fisher-Yates shuffle of all (bx, by)
+// coordinates under the same splitmix generator the faults samplers use.
+func gridBoardSequence(x, y int, seed int64) [][2]int {
+	total := x * y
+	idx := make([]int, total)
+	for i := range idx {
+		idx[i] = i
+	}
+	r := schedRNG(seed, 0x6f7264)
+	for i := total - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([][2]int, total)
+	for i, bi := range idx {
+		out[i] = [2]int{bi % x, bi / x}
+	}
+	return out
+}
+
+// NewFailures samples the failure process over [0, horizon) hours at the
+// aggregate rate boards/minMTBF — the highest rate the caller will thin to.
+// Event times are a Poisson process, event boards cycle through boardSeq
+// (a seeded permutation, e.g. from BoardSequence), and each event carries
+// a thinning mark so Thin(mtbf) with mtbf ≥ minMTBF returns a nested
+// subset. A nil or empty boardSeq, non-positive minMTBF, or non-positive
+// horizon yields an empty process (no failures).
+func NewFailures(boardSeq [][2]int, horizonH, minMTBFh float64, seed int64) *Failures {
+	f := &Failures{boards: len(boardSeq), horizonH: horizonH}
+	if len(boardSeq) == 0 || minMTBFh <= 0 || horizonH <= 0 {
+		return f
+	}
+	f.maxRate = float64(len(boardSeq)) / minMTBFh
+	r := schedRNG(seed, 0xfa11)
+	t := 0.0
+	for i := 0; ; i++ {
+		t += r.exp() / f.maxRate
+		if t >= horizonH {
+			break
+		}
+		f.events = append(f.events, FailEvent{
+			Time:  t,
+			Board: boardSeq[i%len(boardSeq)],
+			u:     r.float64(),
+		})
+	}
+	return f
+}
+
+// Thin returns the failure events active at a per-board MTBF of mtbfHours
+// (≥ the minMTBF the process was sampled at), ascending by time. Under one
+// seed the returned sets are nested: a shorter MTBF keeps a superset of a
+// longer one. A non-positive mtbfHours means no failures.
+func (f *Failures) Thin(mtbfHours float64) []FailEvent {
+	if mtbfHours <= 0 || f.maxRate <= 0 {
+		return nil
+	}
+	rate := float64(f.boards) / mtbfHours
+	keep := rate / f.maxRate
+	if keep > 1 {
+		keep = 1 // caller thinned below the sampling MTBF; cap at everything
+	}
+	out := make([]FailEvent, 0, int(math.Ceil(float64(len(f.events))*keep)))
+	for _, e := range f.events {
+		if e.u <= keep {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks that events are sorted (defensive; NewFailures sorts by
+// construction) and within the horizon.
+func (f *Failures) Validate() bool {
+	return sort.SliceIsSorted(f.events, func(i, j int) bool { return f.events[i].Time < f.events[j].Time })
+}
+
+// splitmix64 decorrelates seeds (same finalizer as internal/faults).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rng is the package's tiny deterministic generator (no math/rand here so
+// failure processes stay stable across Go releases, like the faults
+// samplers).
+type rng uint64
+
+func schedRNG(seed int64, salt uint64) *rng {
+	r := rng(splitmix64(uint64(seed) ^ salt))
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	return splitmix64(uint64(*r))
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// exp returns a unit-mean exponential draw.
+func (r *rng) exp() float64 { return -math.Log(1 - r.float64()) }

@@ -1,0 +1,558 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hammingmesh/internal/alloc"
+	"hammingmesh/internal/workload"
+)
+
+// Policy selects how the scheduler places queued jobs on the grid.
+type Policy string
+
+const (
+	// FirstFit commits the first feasible placement of the requested
+	// shape, with no reshaping heuristics — the dynamic counterpart of
+	// Fig. 8's greedy baseline and the cheapest policy.
+	FirstFit Policy = "firstfit"
+	// BestFit commits the most contiguous feasible placement across the
+	// full §IV-A heuristic stack (transpose + aspect-ratio reshaping):
+	// candidates are scored by their upper-layer traffic fraction (the
+	// Fig. 9 locality metric), so jobs land on board sets with the
+	// fewest L1-group crossings.
+	BestFit Policy = "bestfit"
+	// FragAware searches the same reshaped candidates as BestFit but
+	// commits the placement that least fragments the grid: candidates
+	// are scored by the free boards left stranded in the selected rows
+	// (ties broken by locality), so big contiguous blocks survive for
+	// later jobs.
+	FragAware Policy = "fragaware"
+)
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case FirstFit, BestFit, FragAware:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("sched: unknown policy %q (firstfit|bestfit|fragaware)", s)
+}
+
+// Policies lists the built-in placement policies.
+func Policies() []Policy { return []Policy{FirstFit, BestFit, FragAware} }
+
+// Config controls one scheduler run. Times are hours.
+type Config struct {
+	// Policy is the placement policy (zero value means FirstFit).
+	Policy Policy
+	// CheckpointH is the checkpoint interval: an evicted job restarts
+	// from its last completed checkpoint, losing up to CheckpointH hours
+	// of wall-clock progress. Zero means continuous checkpointing (no
+	// lost work).
+	CheckpointH float64
+	// RepairH is the board repair time (MTTR). Zero means failed boards
+	// never return to service.
+	RepairH float64
+	// HorizonH ends the simulation; metrics integrate over [0, HorizonH).
+	HorizonH float64
+	// Slowdown scales job runtimes by placement quality (nil means none).
+	Slowdown SlowdownModel
+	// RecordDecisions keeps the full decision log in the metrics (golden
+	// tests and debugging; sweeps leave it off).
+	RecordDecisions bool
+}
+
+// Metrics aggregates one scheduler run.
+type Metrics struct {
+	// Utilization is the time-averaged allocated/working board fraction
+	// (the dynamic counterpart of the Fig. 8/10 metric).
+	Utilization float64
+	// GoodputUtil is useful work delivered per working board-hour:
+	// checkpoint-surviving work in board-hours over the working
+	// board-hours of the horizon. Slowdown, queueing, repair downtime and
+	// lost work all subtract from it.
+	GoodputUtil float64
+	// Goodput is useful work delivered per raw board-hour of the horizon
+	// (X·Y·HorizonH): the fraction of the cluster's nameplate capacity
+	// converted to checkpoint-surviving work. Unlike Utilization, whose
+	// working-board denominator shrinks as failures take boards down,
+	// Goodput can only fall when failures destroy or delay work — it is
+	// the monotone utilization-vs-MTBF curve the sweeps plot.
+	Goodput float64
+	// LostBoardH is the work destroyed by evictions (progress past the
+	// last checkpoint), in board-hours.
+	LostBoardH float64
+	// LostFrac is LostBoardH over all work performed (useful + lost).
+	LostFrac float64
+	// WaitP50/WaitP99 are queue-wait percentiles over completed jobs
+	// (including waits after evictions), in hours.
+	WaitP50, WaitP99 float64
+	// SlowP50/SlowP99 are job-slowdown percentiles over completed jobs:
+	// (finish − arrival) / ideal service.
+	SlowP50, SlowP99 float64
+	// Arrived, Completed, Evictions, Rejected count jobs that entered the
+	// trace window, finished, were evicted by a board failure (counting
+	// re-evictions), and could never fit the grid.
+	Arrived, Completed, Evictions, Rejected int
+	// Backlog is the number of jobs still queued or running at the
+	// horizon.
+	Backlog int
+	// Failures and Repairs count board state transitions applied.
+	Failures, Repairs int
+	// Decisions is the chronological decision log (only when
+	// Config.RecordDecisions is set).
+	Decisions []string
+}
+
+// event kinds, in tie-breaking order at equal times: completions land
+// before failures (a job that finishes the instant a board dies keeps its
+// work), failures strike before repairs and arrivals, so an arriving job
+// sees the degraded grid.
+type evKind uint8
+
+const (
+	evComplete evKind = iota
+	evFail
+	evRepair
+	evArrive
+)
+
+type event struct {
+	t     float64
+	seq   int64 // deterministic FIFO tie-break after kind
+	kind  evKind
+	idx   int32 // job index (arrive/complete) or failure index (fail)
+	epoch int32 // evComplete: placement epoch that scheduled it
+	board [2]int
+}
+
+func (e event) less(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	if e.kind != o.kind {
+		return e.kind < o.kind
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a simple binary min-heap ordered by (t, kind, seq).
+type eventHeap struct {
+	h   []event
+	seq int64
+}
+
+func (q *eventHeap) push(e event) {
+	e.seq = q.seq
+	q.seq++
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.h[i].less(q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+func (q *eventHeap) pop() event {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(q.h) {
+			break
+		}
+		c := l
+		if r < len(q.h) && q.h[r].less(q.h[l]) {
+			c = r
+		}
+		if !q.h[c].less(q.h[i]) {
+			break
+		}
+		q.h[i], q.h[c] = q.h[c], q.h[i]
+		i = c
+	}
+	return top
+}
+
+// jobState is the scheduler's mutable per-job record.
+type jobState struct {
+	tj        TraceJob
+	u, v      int     // requested shape
+	remaining float64 // ideal work hours left from the last checkpoint
+	done      float64 // checkpoint-surviving ideal work hours
+	p         *alloc.Placement
+	slowdown  float64
+	startT    float64 // wall time the current placement started
+	epoch     int32   // bumped on eviction; stale completions are dropped
+	queuedAt  float64
+	wait      float64
+	queued    bool
+	running   bool
+	finished  bool
+	rejected  bool
+	finishT   float64
+}
+
+// sim is one in-flight run.
+type sim struct {
+	cfg     Config
+	grid    *alloc.Grid
+	jobs    []jobState
+	queue   []int32 // job indices, scan order
+	events  eventHeap
+	met     Metrics
+	opts    alloc.Options
+	usefulH float64 // checkpoint-surviving work, board-hours
+
+	// utilization integrals, updated lazily at every event
+	lastT            float64
+	allocH, workingH float64
+}
+
+// Run replays a trace against an x×y board grid under the failure process
+// and config, returning the aggregated metrics. Runs are deterministic:
+// the same (trace, failures, cfg) triple produces the same decisions.
+func Run(x, y int, trace []TraceJob, failures []FailEvent, cfg Config) (*Metrics, error) {
+	if x < 1 || y < 1 {
+		return nil, fmt.Errorf("sched: invalid grid %dx%d", x, y)
+	}
+	if cfg.HorizonH <= 0 {
+		return nil, fmt.Errorf("sched: config needs a positive HorizonH")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = FirstFit
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if cfg.Slowdown == nil {
+		cfg.Slowdown = NoSlowdown{}
+	}
+	s := &sim{cfg: cfg, grid: alloc.NewGrid(x, y), opts: policyOptions(cfg.Policy)}
+	s.jobs = make([]jobState, len(trace))
+	for i, tj := range trace {
+		u, v := shapeForTrace(tj)
+		s.jobs[i] = jobState{tj: tj, u: u, v: v, remaining: tj.Service}
+		if tj.Arrival < cfg.HorizonH {
+			s.events.push(event{t: tj.Arrival, kind: evArrive, idx: int32(i)})
+		}
+	}
+	for fi, fe := range failures {
+		if fe.Time < cfg.HorizonH {
+			s.events.push(event{t: fe.Time, kind: evFail, idx: int32(fi), board: fe.Board})
+		}
+	}
+
+	for len(s.events.h) > 0 {
+		ev := s.events.pop()
+		if ev.t >= cfg.HorizonH {
+			break
+		}
+		s.integrateTo(ev.t)
+		switch ev.kind {
+		case evArrive:
+			s.onArrive(ev)
+		case evComplete:
+			s.onComplete(ev)
+		case evFail:
+			s.onFail(ev)
+		case evRepair:
+			s.onRepair(ev)
+		}
+	}
+	s.integrateTo(cfg.HorizonH)
+	s.finish()
+	return &s.met, nil
+}
+
+// policyOptions maps a policy to the allocator heuristics it searches with:
+// FirstFit places the requested shape greedily, the other policies search
+// the full §IV-A reshaping space.
+func policyOptions(p Policy) alloc.Options {
+	opt := alloc.Options{TreeGroupBoards: 16}
+	switch p {
+	case BestFit:
+		opt.Transpose, opt.AspectRatio, opt.MaxAspect, opt.Locality = true, true, 8, true
+	case FragAware:
+		opt.Transpose, opt.AspectRatio, opt.MaxAspect = true, true, 8
+	}
+	return opt
+}
+
+// shapeForTrace shapes a job as square as possible (§IV-B default, shared
+// with the static allocation study).
+func shapeForTrace(tj TraceJob) (u, v int) {
+	return workload.ShapeFor(tj.Boards)
+}
+
+func (s *sim) integrateTo(t float64) {
+	if dt := t - s.lastT; dt > 0 {
+		s.allocH += dt * float64(s.grid.AllocatedBoards())
+		s.workingH += dt * float64(s.grid.WorkingBoards())
+	}
+	s.lastT = t
+}
+
+func (s *sim) logf(format string, args ...any) {
+	if s.cfg.RecordDecisions {
+		s.met.Decisions = append(s.met.Decisions, fmt.Sprintf(format, args...))
+	}
+}
+
+func (s *sim) onArrive(ev event) {
+	j := &s.jobs[ev.idx]
+	s.met.Arrived++
+	s.logf("t=%.4f arrive job=%d boards=%d service=%.4f", ev.t, j.tj.ID, j.tj.Boards, j.tj.Service)
+	// A job no allowed shape of which fits the grid dimensions can never
+	// run (the criterion behind the allocator's typed *ErrNeverFits);
+	// anything else queues and waits for capacity.
+	if !s.grid.FitsDims(j.u, j.v, s.opts) {
+		j.rejected = true
+		s.met.Rejected++
+		err := &alloc.ErrNeverFits{Job: ev.idx, U: j.u, V: j.v, X: s.grid.X, Y: s.grid.Y}
+		s.logf("t=%.4f reject job=%d: %v", ev.t, j.tj.ID, err)
+		return
+	}
+	s.enqueue(ev.idx, ev.t, false)
+	s.trySchedule(ev.t)
+}
+
+// enqueue adds a job to the scan queue; evicted jobs go to the front (they
+// already waited once, and restarting them quickly bounds the lost-work
+// window).
+func (s *sim) enqueue(idx int32, t float64, front bool) {
+	j := &s.jobs[idx]
+	j.queued = true
+	j.queuedAt = t
+	if front {
+		s.queue = append([]int32{idx}, s.queue...)
+	} else {
+		s.queue = append(s.queue, idx)
+	}
+}
+
+// trySchedule scans the queue in order and places every job that fits
+// (greedy backfill: a blocked large job does not stall smaller ones behind
+// it — the utilization-friendly default, at the price of possible
+// large-job delay).
+func (s *sim) trySchedule(t float64) {
+	kept := s.queue[:0]
+	for _, idx := range s.queue {
+		j := &s.jobs[idx]
+		p := s.place(idx, j)
+		if p == nil {
+			kept = append(kept, idx)
+			continue
+		}
+		j.queued = false
+		j.running = true
+		j.p = p
+		j.startT = t
+		j.wait += t - j.queuedAt
+		j.slowdown = s.cfg.Slowdown.Slowdown(p, j.tj)
+		if j.slowdown < 1 {
+			j.slowdown = 1
+		}
+		s.events.push(event{t: t + j.remaining*j.slowdown, kind: evComplete, idx: idx, epoch: j.epoch})
+		s.logf("t=%.4f place job=%d shape=%dx%d rows=%v cols=%v slow=%.4f remaining=%.4f",
+			t, j.tj.ID, p.U(), p.V(), p.Rows, p.Cols, j.slowdown, j.remaining)
+	}
+	s.queue = append([]int32(nil), kept...)
+}
+
+// place runs the policy's placement search for one job, committing and
+// returning the winner (nil when nothing fits).
+func (s *sim) place(idx int32, j *jobState) *alloc.Placement {
+	if s.cfg.Policy != FragAware {
+		p, ok := s.grid.Allocate(idx, j.u, j.v, s.opts)
+		if !ok {
+			return nil
+		}
+		return p
+	}
+	// Fragmentation-aware: among the candidate shapes, commit the one that
+	// strands the fewest free boards in its rows (best-fit by row
+	// occupancy), breaking ties toward locality.
+	cands := s.grid.PlaceCandidates(idx, j.u, j.v, s.opts)
+	if len(cands) == 0 {
+		return nil
+	}
+	best, bestFrag, bestLoc := cands[0], s.fragScore(cands[0]), alloc.UpperLayerFraction(cands[0], alloc.TrafficAlltoall, 16)
+	for _, p := range cands[1:] {
+		frag := s.fragScore(p)
+		loc := alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, 16)
+		if frag < bestFrag || (frag == bestFrag && loc < bestLoc) {
+			best, bestFrag, bestLoc = p, frag, loc
+		}
+	}
+	if err := s.grid.Commit(best); err != nil {
+		// Candidates were enumerated against the current grid; a failed
+		// commit means a bookkeeping bug, not a runtime condition.
+		panic(err)
+	}
+	return best
+}
+
+// fragScore counts the free boards that would remain in the placement's
+// rows after committing it — the capacity the placement strands.
+func (s *sim) fragScore(p *alloc.Placement) int {
+	free := 0
+	for _, r := range p.Rows {
+		for c := 0; c < s.grid.X; c++ {
+			if s.grid.Owner(c, r) == alloc.Free {
+				free++
+			}
+		}
+	}
+	return free - len(p.Rows)*len(p.Cols)
+}
+
+func (s *sim) onComplete(ev event) {
+	j := &s.jobs[ev.idx]
+	if !j.running || j.epoch != ev.epoch {
+		return // stale: the job was evicted after this completion was scheduled
+	}
+	j.running = false
+	j.finished = true
+	j.finishT = ev.t
+	// Credit only the work beyond the last checkpoint: everything before
+	// it was credited at the evictions that created the checkpoints.
+	s.usefulH += j.remaining * float64(j.tj.Boards)
+	j.done += j.remaining
+	j.remaining = 0
+	s.grid.Release(ev.idx)
+	j.p = nil
+	s.met.Completed++
+	s.logf("t=%.4f complete job=%d", ev.t, j.tj.ID)
+	s.trySchedule(ev.t)
+}
+
+func (s *sim) onFail(ev event) {
+	bx, by := ev.board[0], ev.board[1]
+	if s.grid.Owner(bx, by) == alloc.Failed {
+		// A failure striking an already-failed board changes nothing; the
+		// pending repair (if any) still applies.
+		s.logf("t=%.4f fail board=(%d,%d) already-down", ev.t, bx, by)
+		return
+	}
+	s.met.Failures++
+	victim := s.grid.Fail(bx, by)
+	if s.cfg.RepairH > 0 {
+		s.events.push(event{t: ev.t + s.cfg.RepairH, kind: evRepair, board: ev.board})
+	}
+	if victim < 0 {
+		s.logf("t=%.4f fail board=(%d,%d)", ev.t, bx, by)
+		s.trySchedule(ev.t) // capacity shrank but the queue may reshuffle shapes
+		return
+	}
+	j := &s.jobs[victim]
+	lost := s.evict(victim, j, ev.t)
+	s.logf("t=%.4f fail board=(%d,%d) evict=%d lost=%.4fh", ev.t, bx, by, j.tj.ID, lost)
+	s.enqueue(victim, ev.t, true)
+	s.trySchedule(ev.t)
+}
+
+// evict rolls a running job back to its last checkpoint, accounting the
+// work past it as lost. Returns the lost ideal-hours.
+func (s *sim) evict(idx int32, j *jobState, t float64) float64 {
+	elapsed := t - j.startT
+	progress := elapsed / j.slowdown // ideal work hours achieved
+	ckpt := progress
+	if s.cfg.CheckpointH > 0 {
+		// Checkpoints fire on wall-clock intervals; work captured by the
+		// last one is the checkpointed wall time over the slowdown.
+		ckpt = math.Floor(elapsed/s.cfg.CheckpointH) * s.cfg.CheckpointH / j.slowdown
+	}
+	if ckpt > progress {
+		ckpt = progress
+	}
+	lost := progress - ckpt
+	j.done += ckpt
+	j.remaining = j.tj.Service - j.done
+	if j.remaining < 0 {
+		j.remaining = 0
+	}
+	j.epoch++
+	j.running = false
+	j.p = nil
+	// The grid already freed the job's boards as part of Fail's eviction.
+	s.usefulH += ckpt * float64(j.tj.Boards)
+	s.met.LostBoardH += lost * float64(j.tj.Boards)
+	s.met.Evictions++
+	return lost
+}
+
+func (s *sim) onRepair(ev event) {
+	if s.grid.Repair(ev.board[0], ev.board[1]) {
+		s.met.Repairs++
+		s.logf("t=%.4f repair board=(%d,%d)", ev.t, ev.board[0], ev.board[1])
+		s.trySchedule(ev.t)
+	}
+}
+
+// finish computes the aggregate metrics at the horizon.
+func (s *sim) finish() {
+	h := s.cfg.HorizonH
+	// Work running at the horizon survives up to its last checkpoint.
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if !j.running {
+			if j.queued {
+				s.met.Backlog++
+			}
+			continue
+		}
+		s.met.Backlog++
+		elapsed := h - j.startT
+		ckpt := elapsed / j.slowdown
+		if s.cfg.CheckpointH > 0 {
+			ckpt = math.Floor(elapsed/s.cfg.CheckpointH) * s.cfg.CheckpointH / j.slowdown
+		}
+		if max := j.tj.Service - j.done; ckpt > max {
+			ckpt = max
+		}
+		s.usefulH += ckpt * float64(j.tj.Boards)
+	}
+	if s.workingH > 0 {
+		s.met.Utilization = s.allocH / s.workingH
+		s.met.GoodputUtil = s.usefulH / s.workingH
+	}
+	if raw := float64(s.grid.X*s.grid.Y) * h; raw > 0 {
+		s.met.Goodput = s.usefulH / raw
+	}
+	if tot := s.usefulH + s.met.LostBoardH; tot > 0 {
+		s.met.LostFrac = s.met.LostBoardH / tot
+	}
+	var waits, slows []float64
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if !j.finished {
+			continue
+		}
+		waits = append(waits, j.wait)
+		if j.tj.Service > 0 {
+			slows = append(slows, (j.finishT-j.tj.Arrival)/j.tj.Service)
+		}
+	}
+	s.met.WaitP50, s.met.WaitP99 = percentiles(waits)
+	s.met.SlowP50, s.met.SlowP99 = percentiles(slows)
+}
+
+func percentiles(vals []float64) (p50, p99 float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	pick := func(q float64) float64 { return s[int(q*float64(len(s)-1))] }
+	return pick(0.5), pick(0.99)
+}

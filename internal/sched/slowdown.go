@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"sync"
+
+	"hammingmesh/internal/alloc"
+	"hammingmesh/internal/analysis"
+	"hammingmesh/internal/flowsim"
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
+	"hammingmesh/internal/topo"
+)
+
+// SlowdownModel maps a concrete placement to the factor by which it
+// stretches a job's service time (≥ 1). Implementations must be safe for
+// concurrent use: one model is shared across all trials of a sweep.
+type SlowdownModel interface {
+	Slowdown(p *alloc.Placement, job TraceJob) float64
+}
+
+// NoSlowdown ignores placement: every job runs at its ideal service time.
+type NoSlowdown struct{}
+
+// Slowdown implements SlowdownModel.
+func (NoSlowdown) Slowdown(*alloc.Placement, TraceJob) float64 { return 1 }
+
+// CommSlowdown stretches the communication share of a job by the bandwidth
+// its placement delivers. A u×v placement forms a virtual sub-HxMesh with
+// the network properties of a physical u×v HxMesh (§III-E), so the shape
+// term is the alltoall share of that virtual mesh — estimated once per
+// distinct shape with the flow-level solver and cached (large shapes fall
+// back to the closed-form §III-A bound, which the estimate converges to).
+// On top of the shape term, the concrete placement pays for its spread: the
+// fraction of dimension-network traversals crossing the upper fat-tree
+// layer (the Fig. 9 quantity) scales the communication cost by
+// 1 + UpperPenalty·fraction.
+//
+//	slowdown = (1 − commFrac) + commFrac · (shareRef/share) · (1 + UpperPenalty·upperFrac)
+//
+// where shareRef is the best (most compact) share observed for the board
+// type, so an ideally placed job runs at slowdown ≈ 1 and anything worse
+// pays proportionally.
+type CommSlowdown struct {
+	// BoardA, BoardB are the board dimensions in accelerators (2×2 for
+	// Hx2Mesh, 4×4 for Hx4Mesh). Zeros mean 2×2.
+	BoardA, BoardB int
+	// GroupBoards is the L1 fat-tree group width for the upper-layer
+	// fraction (zero means 16, as in alloc).
+	GroupBoards int
+	// UpperPenalty scales the upper-layer crossing cost (zero means 1).
+	UpperPenalty float64
+	// MaxAccels caps the size of the virtual mesh the flow solver
+	// evaluates; larger shapes use the analytic bound. Zero means 1024.
+	MaxAccels int
+	// Shifts is the number of sampled alltoall shifts per shape estimate
+	// (zero means 4).
+	Shifts int
+
+	mu    sync.Mutex
+	cache map[[2]int]*shapeSlot
+}
+
+type shapeSlot struct {
+	once  sync.Once
+	share float64
+}
+
+// NewCommSlowdown returns the default communication-slowdown model for an
+// a×b-accelerator board.
+func NewCommSlowdown(a, b int) *CommSlowdown {
+	return &CommSlowdown{BoardA: a, BoardB: b}
+}
+
+func (m *CommSlowdown) defaults() (a, b, group, maxAccels, shifts int, penalty float64) {
+	a, b = m.BoardA, m.BoardB
+	if a <= 0 {
+		a = 2
+	}
+	if b <= 0 {
+		b = 2
+	}
+	group = m.GroupBoards
+	if group <= 0 {
+		group = 16
+	}
+	maxAccels = m.MaxAccels
+	if maxAccels <= 0 {
+		maxAccels = 1024
+	}
+	shifts = m.Shifts
+	if shifts <= 0 {
+		shifts = 4
+	}
+	penalty = m.UpperPenalty
+	if penalty <= 0 {
+		penalty = 1
+	}
+	return
+}
+
+// Slowdown implements SlowdownModel.
+func (m *CommSlowdown) Slowdown(p *alloc.Placement, job TraceJob) float64 {
+	cf := job.CommFrac
+	if cf <= 0 {
+		return 1
+	}
+	if cf > 1 {
+		cf = 1
+	}
+	_, _, group, _, _, penalty := m.defaults()
+	u, v := p.U(), p.V()
+	share := m.shapeShare(u, v)
+	ref := m.shapeShare(1, 1) // single-board reference: all comm on-board
+	if share <= 0 {
+		share = 1e-3 // defensive; flowsim shares are strictly positive
+	}
+	commCost := (ref / share) * (1 + penalty*alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, group))
+	if commCost < 1 {
+		commCost = 1
+	}
+	return (1 - cf) + cf*commCost
+}
+
+// shapeShare returns the cached alltoall bandwidth share (fraction of
+// injection) of a virtual u×v sub-HxMesh, computing it on first use.
+// Concurrent callers for the same shape share one computation.
+func (m *CommSlowdown) shapeShare(u, v int) float64 {
+	key := [2]int{u, v}
+	m.mu.Lock()
+	if m.cache == nil {
+		m.cache = make(map[[2]int]*shapeSlot)
+	}
+	slot, ok := m.cache[key]
+	if !ok {
+		slot = &shapeSlot{}
+		m.cache[key] = slot
+	}
+	m.mu.Unlock()
+	slot.once.Do(func() { slot.share = m.computeShare(u, v) })
+	return slot.share
+}
+
+func (m *CommSlowdown) computeShare(u, v int) float64 {
+	a, b, _, maxAccels, shifts, _ := m.defaults()
+	if u*v <= 1 {
+		// Single board: communication stays on the PCB mesh at full
+		// bandwidth; the shape term is the reference itself.
+		return 1
+	}
+	if u*v*a*b > maxAccels {
+		// Large shapes: the closed-form §III-A bound the flow estimate
+		// converges to, normalized like the solver output.
+		return analysis.AlltoallShare(a, b)
+	}
+	h := topo.NewHxMesh(a, b, u, v, topo.DefaultLinkParams())
+	c := simcore.Compile(h.Network) // throwaway: skip the interning cache
+	table := routing.NewTable(c)
+	s := flowsim.New(c, table, flowsim.Config{Seed: 1})
+	inj := 4 * topo.DefaultLinkParams().GBps
+	share, err := s.AlltoallShareOver(c.Endpoints, shifts, inj, 1)
+	if err != nil {
+		// The virtual mesh is always connected; treat a solver failure as
+		// the analytic bound rather than poisoning the schedule.
+		return analysis.AlltoallShare(a, b)
+	}
+	return share
+}
