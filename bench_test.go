@@ -604,15 +604,22 @@ func BenchmarkAllocator(b *testing.B) {
 	}
 }
 
-// BenchmarkPacketSim measures raw simulator throughput (events/sec).
+// BenchmarkPacketSim measures raw simulator throughput (events/sec) in the
+// steady state of a sweep: one Sim reused across runs via Reset, the way
+// the runner's sweep jobs drive it, so -benchmem tracks the engine's
+// per-run allocations rather than construction.
 func BenchmarkPacketSim(b *testing.B) {
 	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
 	rng := rand.New(rand.NewSource(9))
 	flows := netsim.PermutationFlows(h.Endpoints, 512<<10, rng)
+	sim := netsim.NewNet(h.Network, nil, netsim.DefaultConfig())
+	if _, err := sim.Run(flows); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	var events int64
 	for i := 0; i < b.N; i++ {
-		res, err := netsim.NewNet(h.Network, nil, netsim.DefaultConfig()).Run(flows)
+		res, err := sim.Run(flows)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -670,6 +677,78 @@ func BenchmarkAlltoallSweep(b *testing.B) {
 		once("a2asweep", func() {
 			fmt.Printf("  alltoall sweep hx2mesh/%s: %d shifts on %d workers, share %.1f%%\n",
 				size, shifts, pool.Workers(), 100*share)
+		})
+	}
+}
+
+// BenchmarkFlowSolverLarge measures the paper's headline scale end to end:
+// a flow-level alltoall shift sweep on the 16,384-accelerator Hx2Mesh —
+// the cluster whose Table II numbers cost the paper ~0.6M SST core-hours.
+// The shared routing table is warmed in parallel outside the timed loop
+// (distance vectors; candidate DAGs stay under the table's budget,
+// routing.DefaultCandBudget, so peak memory is ~2 GB instead of the ~7 GB
+// of unbounded DAG caching); each iteration
+// then fans the per-shift incremental water-filling solves onto the pool.
+// Runs in CI under -short to pin the large-cluster trajectory across PRs.
+func BenchmarkFlowSolverLarge(b *testing.B) {
+	shifts := 4
+	if testing.Short() {
+		shifts = 2
+	}
+	pool := runner.NewSeeded(benchWorkers(), 7)
+	c, err := pool.Cluster("hx2mesh", core.Large)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Table.PrecomputeParallel(c.Comp.Endpoints, pool.Workers())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		share, err := pool.AlltoallFlowShare(c, c.FlowConfig(9), shifts, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*share, "%inject")
+		once("flowlarge", func() {
+			fmt.Printf("  flow solver hx2mesh/large: 16384 endpoints, %d shifts on %d workers, share %.1f%%\n",
+				shifts, pool.Workers(), 100*share)
+		})
+	}
+}
+
+// BenchmarkTable2GlobalBWLarge regenerates the global (alltoall) bandwidth
+// column of Table II at the paper's actual design point — the ≈16k
+// accelerator clusters — with the flow-level solver, the measurement SST
+// needed 0.6M core-hours for. Each topology gets its own pool so the
+// multi-GB table caches can be collected between rows; skipped under
+// -short (several minutes and a few GB per row when run in full).
+func BenchmarkTable2GlobalBWLarge(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large Table II sweep: run without -short")
+	}
+	paper := map[string]float64{
+		"fattree": 99.9, "fattree50": 51.2, "fattree75": 25.7,
+		"dragonfly": 62.9, "hyperx": 91.6, "hx2mesh": 25.4, "hx4mesh": 11.3, "torus": 2.0,
+	}
+	for _, name := range core.TopologyNames() {
+		b.Run(name, func(b *testing.B) {
+			pool := runner.NewSeeded(benchWorkers(), 7)
+			c, err := pool.Cluster(name, core.Large)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Table.PrecomputeParallel(c.AliveEndpoints(), pool.Workers())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				share, err := pool.AlltoallFlowShare(c, c.FlowConfig(9), 2, 9)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*share, "%inject")
+				once("t2glob-large-"+name, func() {
+					fmt.Printf("  Table II global BW (large) %-10s flow %5.1f%%  paper %5.1f%%\n",
+						name, 100*share, paper[name])
+				})
+			}
 		})
 	}
 }

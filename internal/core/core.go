@@ -183,10 +183,11 @@ func (c *Cluster) SimInjectionGBps() float64 {
 	return 4 * c.LP.GBps
 }
 
-// AlltoallShare estimates the global (alltoall) bandwidth share of the
-// injection bandwidth with the flow-level solver over sampled shift
-// iterations.
-func (c *Cluster) AlltoallShare(nShifts int, seed uint64) (float64, error) {
+// FlowConfig returns the cluster's default flow-solver configuration: the
+// per-family path-sampling policy under the given seed. The serial
+// AlltoallShare and the runner's pooled AlltoallFlowShare both start from
+// it, so the two estimators model routing identically.
+func (c *Cluster) FlowConfig(seed uint64) flowsim.Config {
 	cfg := flowsim.Config{Seed: seed}
 	switch c.Net.Meta.Family {
 	case "dragonfly":
@@ -196,7 +197,14 @@ func (c *Cluster) AlltoallShare(nShifts int, seed uint64) (float64, error) {
 		// subflows through random intermediate routers.
 		cfg.ValiantPaths = 8
 	}
-	s := flowsim.New(c.Comp, c.Table, cfg)
+	return cfg
+}
+
+// AlltoallShare estimates the global (alltoall) bandwidth share of the
+// injection bandwidth with the flow-level solver over sampled shift
+// iterations.
+func (c *Cluster) AlltoallShare(nShifts int, seed uint64) (float64, error) {
+	s := flowsim.New(c.Comp, c.Table, c.FlowConfig(seed))
 	return s.AlltoallShareOver(c.AliveEndpoints(), nShifts, c.SimInjectionGBps(), seed)
 }
 

@@ -1,0 +1,24 @@
+package flowsim
+
+import (
+	"testing"
+
+	"hammingmesh/internal/topo"
+)
+
+// BenchmarkSolveSmallAlltoall tracks the serial small-cluster flow path
+// behind BenchmarkTable2GlobalBW: one solver reused over sampled alltoall
+// shifts on the ≈1k-endpoint Hx2Mesh.
+func BenchmarkSolveSmallAlltoall(b *testing.B) {
+	h := topo.NewHxMesh(2, 2, 16, 16, topo.DefaultLinkParams())
+	s := NewNet(h.Network, nil, Config{Seed: 9})
+	if _, err := s.AlltoallShare(2, 200, 9); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AlltoallShare(2, 200, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

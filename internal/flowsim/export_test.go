@@ -1,0 +1,84 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveReference is the pre-incremental round-based progressive-filling
+// loop, kept test-only as the ground truth the event-driven waterfill must
+// match within 1e-6: every round scans all links for the smallest headroom,
+// raises every active subflow by it, and freezes subflows on saturated
+// links. Path sampling is shared with Solve (buildSubflows), so on a fresh
+// Solver both algorithms see the identical subflow set.
+func (s *Solver) SolveReference(flows []Flow) ([]float64, error) {
+	if err := s.buildSubflows(flows); err != nil {
+		return nil, err
+	}
+	nSubs := len(s.subFlow)
+	nLinks := s.comp.NumPorts()
+	remCap := make([]float64, nLinks)
+	for i := range remCap {
+		remCap[i] = s.comp.Ports[i].GBps
+	}
+	active := make([]bool, nSubs)
+	activeOnLink := make([]int32, nLinks)
+	for i := 0; i < nSubs; i++ {
+		active[i] = true
+		for _, l := range s.subLinks[s.subOff[i]:s.subOff[i+1]] {
+			activeOnLink[l]++
+		}
+	}
+	rates := make([]float64, nSubs)
+	nActive := nSubs
+	for iter := 0; nActive > 0; iter++ {
+		if iter > nLinks+nSubs+10 {
+			return nil, fmt.Errorf("flowsim: reference water-filling did not converge")
+		}
+		// Smallest headroom per active subflow across loaded links.
+		delta := math.Inf(1)
+		for l := range remCap {
+			if activeOnLink[l] > 0 {
+				if h := remCap[l] / float64(activeOnLink[l]); h < delta {
+					delta = h
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break
+		}
+		// Raise all active subflows by delta; freeze those on saturated links.
+		for i := 0; i < nSubs; i++ {
+			if !active[i] {
+				continue
+			}
+			rates[i] += delta
+			for _, l := range s.subLinks[s.subOff[i]:s.subOff[i+1]] {
+				remCap[l] -= delta
+			}
+		}
+		const eps = 1e-9
+		for i := 0; i < nSubs; i++ {
+			if !active[i] {
+				continue
+			}
+			for _, l := range s.subLinks[s.subOff[i]:s.subOff[i+1]] {
+				if remCap[l] <= eps {
+					active[i] = false
+					break
+				}
+			}
+			if !active[i] {
+				for _, l := range s.subLinks[s.subOff[i]:s.subOff[i+1]] {
+					activeOnLink[l]--
+				}
+				nActive--
+			}
+		}
+	}
+	out := make([]float64, len(flows))
+	for i, fi := range s.subFlow {
+		out[fi] += rates[i]
+	}
+	return out, nil
+}

@@ -11,15 +11,26 @@
 // are deduplicated by an FNV-1a hash of their node ids — no map is keyed by
 // node or port ids and path sampling does not allocate string keys.
 //
+// Water-filling is incremental and event-driven rather than round-based:
+// with L loaded links and S subflows of mean path length ℓ, a min-heap over
+// per-link saturation levels (remaining capacity over active subflows)
+// processes each link saturation once and touches only the links of the
+// subflows it freezes, so a solve costs O((L + S·ℓ)·log L) instead of the
+// round-based O(rounds·(L + S·ℓ)) where the round count itself grows with
+// the cluster. All solver state (subflow CSR, per-link headrooms, the heap,
+// path-sample buffers) lives in scratch arrays sized once per Solver and
+// reused across Solve calls, so a shift sweep allocates only its result
+// slices.
+//
 // The solver scales to the paper's 16k-endpoint clusters where packet
 // simulation of 1 MiB-per-peer alltoall would need billions of packet
 // events (the paper itself spent 0.6M core hours in SST); cross-validation
-// against netsim at small scale lives in the tests.
+// against netsim at small scale lives in the tests, and the round-based
+// reference implementation is kept in the tests for equivalence checks.
 package flowsim
 
 import (
 	"fmt"
-	"math"
 
 	"hammingmesh/internal/routing"
 	"hammingmesh/internal/simcore"
@@ -46,8 +57,11 @@ type Config struct {
 }
 
 // Solver holds per-network state reusable across Solve calls. It is not
-// safe for concurrent use (the round-robin cursors mutate), but solvers are
-// cheap: all heavy state lives in the shared Compiled network.
+// safe for concurrent use (the round-robin cursors and scratch arrays
+// mutate), but solvers are cheap: all heavy immutable state lives in the
+// shared Compiled network and routing Table, so parallel sweeps give each
+// worker its own Solver over the shared table (see
+// runner.AlltoallFlowShare).
 type Solver struct {
 	comp  *simcore.Compiled
 	table *routing.Table
@@ -61,6 +75,45 @@ type Solver struct {
 	// rr[g] is the round-robin cursor of parallel-link group g (unsigned
 	// so unbounded increments wrap instead of going negative).
 	rr []uint32
+
+	// Subflow CSR, rebuilt per Solve into reused backing arrays: subflow i
+	// belongs to flow subFlow[i] and crosses channels
+	// subLinks[subOff[i]:subOff[i+1]].
+	subFlow  []int32
+	subOff   []int32
+	subLinks []int32
+
+	// flowHashes deduplicates the current flow's sampled paths (a handful
+	// of entries, so a linear scan replaces the old per-call map).
+	flowHashes []uint64
+
+	// pathBuf/tailBuf are the reused path-sample buffers (with the chosen
+	// global port id per hop alongside); Valiant detours splice head+tail
+	// into pathBuf instead of allocating per sample.
+	pathBuf  []topo.NodeID
+	tailBuf  []topo.NodeID
+	portBuf  []int32
+	tailPort []int32
+
+	// Water-filling scratch, sized to NumPorts once per Solver.
+	remCap  []float64 // remaining capacity of link l at fill level lastT[l]
+	lastT   []float64 // fill level at which remCap[l] was last materialized
+	nOnLink []int32   // active subflows crossing link l
+	linkOff []int32   // CSR offsets: subflows crossing link l
+	linkCur []int32   // fill cursor for the linkSubs CSR build
+	linkSub []int32   // CSR payload, sized to len(subLinks) per Solve
+	rates   []float64 // per-subflow frozen rate
+	heap    []satEntry
+}
+
+// satEntry is one pending link-saturation event: at fill level t, link
+// `link` runs out of headroom. Saturation levels only grow as other links
+// freeze subflows, so entries are lazily re-keyed on pop (the popped key is
+// compared against the link's current level and re-pushed if it grew) and
+// each link keeps at most one live entry.
+type satEntry struct {
+	t    float64
+	link int32
 }
 
 // New creates a solver over a compiled network; table may be nil.
@@ -71,7 +124,20 @@ func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Solver {
 	if cfg.PathsPerFlow <= 0 {
 		cfg.PathsPerFlow = 4
 	}
-	return &Solver{comp: c, table: table, cfg: cfg, mask: table.Mask(), rr: make([]uint32, len(c.GroupOff)-1)}
+	nLinks := c.NumPorts()
+	return &Solver{
+		comp: c, table: table, cfg: cfg, mask: table.Mask(),
+		rr: make([]uint32, len(c.GroupOff)-1),
+		// Port buffers start non-nil: AppendSamplePathPorts records hops
+		// only into a non-nil buffer.
+		portBuf:  make([]int32, 0, 64),
+		tailPort: make([]int32, 0, 64),
+		remCap:   make([]float64, nLinks),
+		lastT:    make([]float64, nLinks),
+		nOnLink:  make([]int32, nLinks),
+		linkOff:  make([]int32, nLinks+1),
+		linkCur:  make([]int32, nLinks),
+	}
 }
 
 // NewNet creates a solver straight from a network, compiling it through the
@@ -95,45 +161,52 @@ func pathHash(path []topo.NodeID) uint64 {
 	return h
 }
 
-// Solve returns the max-min fair rate (GB/s) of each flow.
-func (s *Solver) Solve(flows []Flow) ([]float64, error) {
-	type subflow struct {
-		flow  int32
-		links []int32
-	}
-	var subs []subflow
-	seen := make(map[uint64]struct{}, s.cfg.PathsPerFlow+s.cfg.ValiantPaths)
-	addPath := func(fi int, path []topo.NodeID) error {
-		key := pathHash(path)
-		if _, dup := seen[key]; dup {
+// addPath appends one subflow for the sampled path unless an identical path
+// was already sampled for this flow. hops are the sampled global port ids
+// of the path's edges (len(path)-1 of them): each hop resolves to a channel
+// through its parallel-link group without re-scanning the adjacency.
+func (s *Solver) addPath(fi int, path []topo.NodeID, hops []int32) error {
+	key := pathHash(path)
+	for _, h := range s.flowHashes {
+		if h == key {
 			return nil
 		}
-		seen[key] = struct{}{}
-		links := make([]int32, 0, len(path)-1)
-		for i := 0; i+1 < len(path); i++ {
-			ch, err := s.pickChannel(path[i], path[i+1])
-			if err != nil {
-				return err
-			}
-			links = append(links, ch)
-		}
-		subs = append(subs, subflow{flow: int32(fi), links: links})
-		return nil
 	}
+	s.flowHashes = append(s.flowHashes, key)
+	for _, pid := range hops {
+		ch, err := s.pickChannelFromPort(pid)
+		if err != nil {
+			return err
+		}
+		s.subLinks = append(s.subLinks, ch)
+	}
+	s.subFlow = append(s.subFlow, int32(fi))
+	s.subOff = append(s.subOff, int32(len(s.subLinks)))
+	return nil
+}
+
+// buildSubflows samples every flow's paths into the solver's subflow CSR
+// (reusing the backing arrays of earlier Solve calls).
+func (s *Solver) buildSubflows(flows []Flow) error {
+	s.subFlow = s.subFlow[:0]
+	s.subOff = append(s.subOff[:0], 0)
+	s.subLinks = s.subLinks[:0]
 	for fi, f := range flows {
 		if f.Src == f.Dst {
-			return nil, fmt.Errorf("flowsim: flow %d is a self-flow", fi)
+			return fmt.Errorf("flowsim: flow %d is a self-flow", fi)
 		}
-		clear(seen)
+		s.flowHashes = s.flowHashes[:0]
 		for k := 0; k < s.cfg.PathsPerFlow; k++ {
 			// A flow whose destination was cut off on a degraded fabric is
 			// a typed error, not a zero-link subflow with infinite rate.
-			path, err := s.table.SamplePathErr(f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919)
+			var err error
+			s.pathBuf, s.portBuf, err = s.table.AppendSamplePathPorts(
+				s.pathBuf[:0], s.portBuf[:0], f.Src, f.Dst, s.cfg.Seed+uint64(fi)*131+uint64(k)*7919)
 			if err != nil {
-				return nil, fmt.Errorf("flowsim: flow %d: %w", fi, err)
+				return fmt.Errorf("flowsim: flow %d: %w", fi, err)
 			}
-			if err := addPath(fi, path); err != nil {
-				return nil, fmt.Errorf("flowsim: flow %d: %w", fi, err)
+			if err := s.addPath(fi, s.pathBuf, s.portBuf); err != nil {
+				return fmt.Errorf("flowsim: flow %d: %w", fi, err)
 			}
 		}
 		for k := 0; k < s.cfg.ValiantPaths; k++ {
@@ -142,82 +215,184 @@ func (s *Solver) Solve(flows []Flow) ([]float64, error) {
 				continue
 			}
 			// Unreachable intermediates (e.g. a dead switch) are skipped —
-			// the minimal subflows above already guarantee connectivity.
-			head := s.table.SamplePath(f.Src, mid, s.cfg.Seed+uint64(fi)*13+uint64(k))
-			tail := s.table.SamplePath(mid, f.Dst, s.cfg.Seed+uint64(fi)*17+uint64(k))
-			if len(head) == 0 || len(tail) == 0 {
+			// the minimal subflows above already guarantee connectivity. The
+			// detour is spliced head+tail[1:] into the reused path buffers.
+			head, headPorts, errH := s.table.AppendSamplePathPorts(
+				s.pathBuf[:0], s.portBuf[:0], f.Src, mid, s.cfg.Seed+uint64(fi)*13+uint64(k))
+			if errH != nil {
 				continue
 			}
-			path := append(append([]topo.NodeID{}, head...), tail[1:]...)
-			if err := addPath(fi, path); err != nil {
-				return nil, fmt.Errorf("flowsim: flow %d: %w", fi, err)
+			s.pathBuf, s.portBuf = head, headPorts
+			tail, tailPorts, errT := s.table.AppendSamplePathPorts(
+				s.tailBuf[:0], s.tailPort[:0], mid, f.Dst, s.cfg.Seed+uint64(fi)*17+uint64(k))
+			if errT != nil {
+				continue
+			}
+			s.tailBuf, s.tailPort = tail, tailPorts
+			s.pathBuf = append(s.pathBuf, s.tailBuf[1:]...)
+			s.portBuf = append(s.portBuf, s.tailPort...)
+			if err := s.addPath(fi, s.pathBuf, s.portBuf); err != nil {
+				return fmt.Errorf("flowsim: flow %d: %w", fi, err)
 			}
 		}
 	}
-	// Progressive filling.
+	return nil
+}
+
+// waterfill runs incremental progressive filling over the built subflow CSR
+// and leaves each subflow's max-min rate in s.rates.
+//
+// All active subflows rise at unit rate in "fill level" T, so link l with
+// a fixed active count n and remaining capacity r saturates at level
+// T + r/n — and whenever another link's saturation freezes subflows, only
+// the links those subflows cross change state. Because freezing subflows
+// only ever *raises* the survivors' saturation levels, a min-heap with
+// lazy re-keying on pop (compare the popped key against the link's current
+// level, re-push if it grew) processes each saturation event in O(log L)
+// touching only the frozen subflows' links.
+func (s *Solver) waterfill() error {
+	nSubs := len(s.subFlow)
 	nLinks := s.comp.NumPorts()
-	remCap := make([]float64, nLinks)
-	for i := range remCap {
-		remCap[i] = s.comp.Ports[i].GBps
+	if cap(s.rates) < nSubs {
+		s.rates = make([]float64, nSubs)
 	}
-	active := make([]bool, len(subs))
-	activeOnLink := make([]int32, nLinks)
-	for i := range subs {
-		active[i] = true
-		for _, l := range subs[i].links {
-			activeOnLink[l]++
+	s.rates = s.rates[:nSubs]
+	for l := 0; l < nLinks; l++ {
+		s.remCap[l] = s.comp.Ports[l].GBps
+		s.lastT[l] = 0
+		s.nOnLink[l] = 0
+	}
+	for _, l := range s.subLinks {
+		s.nOnLink[l]++
+	}
+	// CSR of subflows per link (only loaded links have entries).
+	s.linkOff[0] = 0
+	for l := 0; l < nLinks; l++ {
+		s.linkOff[l+1] = s.linkOff[l] + s.nOnLink[l]
+		s.linkCur[l] = s.linkOff[l]
+	}
+	if cap(s.linkSub) < len(s.subLinks) {
+		s.linkSub = make([]int32, len(s.subLinks))
+	}
+	s.linkSub = s.linkSub[:len(s.subLinks)]
+	for si := 0; si < nSubs; si++ {
+		for _, l := range s.subLinks[s.subOff[si]:s.subOff[si+1]] {
+			s.linkSub[s.linkCur[l]] = int32(si)
+			s.linkCur[l]++
 		}
 	}
-	rates := make([]float64, len(subs))
-	nActive := len(subs)
-	for iter := 0; nActive > 0; iter++ {
-		if iter > nLinks+len(subs)+10 {
-			return nil, fmt.Errorf("flowsim: water-filling did not converge")
+	// rates[si] < 0 marks subflow si as still active (rising); freezing
+	// assigns its final nonnegative rate.
+	for si := range s.rates {
+		s.rates[si] = -1
+	}
+	s.heap = s.heap[:0]
+	for l := 0; l < nLinks; l++ {
+		if s.nOnLink[l] > 0 {
+			s.heap = append(s.heap, satEntry{t: s.remCap[l] / float64(s.nOnLink[l]), link: int32(l)})
 		}
-		// Smallest headroom per active subflow across loaded links.
-		delta := math.Inf(1)
-		for l := range remCap {
-			if activeOnLink[l] > 0 {
-				if h := remCap[l] / float64(activeOnLink[l]); h < delta {
-					delta = h
-				}
+	}
+	s.heapify()
+	T := 0.0
+	frozen := 0
+	for frozen < nSubs {
+		if len(s.heap) == 0 {
+			return fmt.Errorf("flowsim: water-filling ran dry with %d subflows active", nSubs-frozen)
+		}
+		e := s.heapPop()
+		l := e.link
+		n := s.nOnLink[l]
+		if n == 0 {
+			continue // all of this link's subflows were frozen elsewhere
+		}
+		trueT := s.lastT[l] + s.remCap[l]/float64(n)
+		if trueT > e.t {
+			// The link lost active subflows since the push, moving its
+			// saturation level up; re-key and re-examine later.
+			s.heapPush(satEntry{t: trueT, link: l})
+			continue
+		}
+		if trueT > T {
+			T = trueT
+		}
+		// Link l is saturated at fill level T: freeze its active subflows,
+		// materializing the consumed headroom of every link they cross.
+		for _, si := range s.linkSub[s.linkOff[l]:s.linkOff[l+1]] {
+			if s.rates[si] >= 0 {
+				continue
+			}
+			s.rates[si] = T
+			frozen++
+			for _, m := range s.subLinks[s.subOff[si]:s.subOff[si+1]] {
+				s.remCap[m] -= (T - s.lastT[m]) * float64(s.nOnLink[m])
+				s.lastT[m] = T
+				s.nOnLink[m]--
 			}
 		}
-		if math.IsInf(delta, 1) {
+	}
+	return nil
+}
+
+// heapify establishes the heap property over an unordered s.heap in O(n).
+func (s *Solver) heapify() {
+	n := len(s.heap)
+	for i := n/2 - 1; i >= 0; i-- {
+		s.siftDown(i, n)
+	}
+}
+
+func (s *Solver) siftDown(i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && s.heap[c+1].t < s.heap[c].t {
+			c++
+		}
+		if s.heap[i].t <= s.heap[c].t {
+			return
+		}
+		s.heap[i], s.heap[c] = s.heap[c], s.heap[i]
+		i = c
+	}
+}
+
+func (s *Solver) heapPush(e satEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].t <= s.heap[i].t {
 			break
 		}
-		// Raise all active subflows by delta; freeze those on saturated links.
-		for i := range subs {
-			if !active[i] {
-				continue
-			}
-			rates[i] += delta
-			for _, l := range subs[i].links {
-				remCap[l] -= delta
-			}
-		}
-		const eps = 1e-9
-		for i := range subs {
-			if !active[i] {
-				continue
-			}
-			for _, l := range subs[i].links {
-				if remCap[l] <= eps {
-					active[i] = false
-					break
-				}
-			}
-			if !active[i] {
-				for _, l := range subs[i].links {
-					activeOnLink[l]--
-				}
-				nActive--
-			}
-		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Solver) heapPop() satEntry {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	s.siftDown(0, last)
+	return top
+}
+
+// Solve returns the max-min fair rate (GB/s) of each flow. The returned
+// slice is freshly allocated; all intermediate state is reused across calls
+// on the same Solver.
+func (s *Solver) Solve(flows []Flow) ([]float64, error) {
+	if err := s.buildSubflows(flows); err != nil {
+		return nil, err
+	}
+	if err := s.waterfill(); err != nil {
+		return nil, err
 	}
 	out := make([]float64, len(flows))
-	for i, sf := range subs {
-		out[sf.flow] += rates[i]
+	for i, fi := range s.subFlow {
+		out[fi] += s.rates[i]
 	}
 	return out, nil
 }
@@ -232,16 +407,14 @@ func (s *Solver) randomSwitch(seed uint64) topo.NodeID {
 	return sw[int(seed>>33)%len(sw)]
 }
 
-// pickChannel chooses among parallel links between u and v round-robin
-// through the precompiled link groups. Masked (failed) channels are skipped
-// — surviving parallel links absorb the group's traffic, which is exactly
-// the degraded-bandwidth behaviour the resilience sweeps measure. A missing
-// or fully-failed group is a typed error instead of a panic.
-func (s *Solver) pickChannel(u, v topo.NodeID) (int32, error) {
-	g := s.comp.GroupTo(int32(u), int32(v))
-	if g < 0 {
-		return -1, &routing.ErrUnreachable{From: u, To: v}
-	}
+// pickChannelFromPort chooses the channel of one sampled hop: round-robin
+// among the hop's parallel-link group (resolved in O(1) from the sampled
+// port id). Masked (failed) channels are skipped — surviving parallel links
+// absorb the group's traffic, which is exactly the degraded-bandwidth
+// behaviour the resilience sweeps measure. A fully-failed group is a typed
+// error instead of a panic.
+func (s *Solver) pickChannelFromPort(pid int32) (int32, error) {
+	g := s.comp.GroupOf[pid]
 	chans := s.comp.GroupMembers(g)
 	for range chans {
 		c := chans[s.rr[g]%uint32(len(chans))]
@@ -250,7 +423,7 @@ func (s *Solver) pickChannel(u, v topo.NodeID) (int32, error) {
 			return c, nil
 		}
 	}
-	return -1, &routing.ErrUnreachable{From: u, To: v}
+	return -1, &routing.ErrUnreachable{From: topo.NodeID(s.comp.Owner[pid]), To: topo.NodeID(s.comp.Ports[pid].To)}
 }
 
 // ShiftFlows mirrors netsim.ShiftFlows for the solver.
@@ -265,6 +438,23 @@ func ShiftFlows(endpoints []topo.NodeID, shift int) []Flow {
 		flows = append(flows, Flow{Src: endpoints[j], Dst: endpoints[(j+shift)%p]})
 	}
 	return flows
+}
+
+// SampleShifts returns the nShifts pseudo-random shift values in [1, p-1]
+// drawn by AlltoallShareOver under the given seed. The serial sweep and the
+// runner's pooled AlltoallFlowShare share this sequence, so both estimate
+// the same sampled iterations.
+func SampleShifts(p, nShifts int, seed uint64) []int {
+	if nShifts <= 0 || nShifts > p-1 {
+		nShifts = p - 1
+	}
+	out := make([]int, nShifts)
+	rng := seed | 1
+	for k := range out {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		out[k] = 1 + int(rng>>33)%(p-1)
+	}
+	return out
 }
 
 // AlltoallShare estimates the alltoall bandwidth share of the injection
@@ -286,14 +476,9 @@ func (s *Solver) AlltoallShareOver(endpoints []topo.NodeID, nShifts int, injectG
 	if p < 2 {
 		return 0, fmt.Errorf("flowsim: need ≥2 endpoints")
 	}
-	if nShifts <= 0 || nShifts > p-1 {
-		nShifts = p - 1
-	}
 	sumInvRate := 0.0
-	rng := seed | 1
-	for k := 0; k < nShifts; k++ {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		shift := 1 + int(rng>>33)%(p-1)
+	shifts := SampleShifts(p, nShifts, seed)
+	for _, shift := range shifts {
 		rates, err := s.Solve(ShiftFlows(endpoints, shift))
 		if err != nil {
 			return 0, err
@@ -309,7 +494,7 @@ func (s *Solver) AlltoallShareOver(endpoints []topo.NodeID, nShifts int, injectG
 		sumInvRate += 1 / mean
 	}
 	// Harmonic mean over iterations = effective sustained bandwidth.
-	eff := float64(nShifts) / sumInvRate
+	eff := float64(len(shifts)) / sumInvRate
 	return eff / injectGBps, nil
 }
 

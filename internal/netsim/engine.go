@@ -158,11 +158,36 @@ type event struct {
 
 // channel holds the mutable state of one link direction; its index is the
 // compiled port id, whose static attributes live in comp.Ports.
+//
+// The queue pops by advancing head instead of re-slicing the front, so the
+// backing array is reclaimed (head and length reset) whenever it drains and
+// survives across Sim.Reset — steady-state simulation sweeps stop
+// allocating queue storage after the first run.
 type channel struct {
 	busy    bool
 	blocked bool // waiting for downstream buffer space (CreditFC)
 	queue   []packet
+	head    int
 	queuedB int64
+}
+
+func (ch *channel) qlen() int { return len(ch.queue) - ch.head }
+
+func (ch *channel) pop() packet {
+	pkt := ch.queue[ch.head]
+	ch.head++
+	if ch.head == len(ch.queue) {
+		ch.queue = ch.queue[:0]
+		ch.head = 0
+	} else if ch.head >= 32 && ch.head*2 >= len(ch.queue) {
+		// Compact once the dead prefix dominates, so a persistently busy
+		// channel's backing array tracks its peak queue depth rather than
+		// the total packets it ever carried.
+		n := copy(ch.queue, ch.queue[ch.head:])
+		ch.queue = ch.queue[:n]
+		ch.head = 0
+	}
+	return pkt
 }
 
 // Sim is a single simulation instance. It is not safe for concurrent use,
@@ -225,40 +250,78 @@ func NewNet(n *topo.Network, table *routing.Table, cfg Config) *Sim {
 	return New(simcore.Of(n), table, cfg)
 }
 
-// Run simulates the given flows to completion and returns the result.
-func (s *Sim) Run(flows []Flow) (*Result, error) {
+// Reset re-arms the simulator for another Run on the same network: it
+// validates the flows and rewinds all mutable state — channel queues, flow
+// accounting, credit buffers, the event heap and the result — reusing
+// every backing array of earlier runs, so repeated Run calls on one Sim
+// allocate nothing in steady state. The rng deliberately carries over
+// (matching the long-standing multi-run behaviour of AlltoallShareOver);
+// a previously returned Result aliases the reused arrays and is
+// invalidated by the next Reset or Run.
+func (s *Sim) Reset(flows []Flow) error {
 	for fi, f := range flows {
 		if f.Bytes <= 0 {
 			continue
 		}
 		if f.Src == f.Dst {
-			return nil, fmt.Errorf("netsim: flow %d is a self-flow", fi)
+			return fmt.Errorf("netsim: flow %d is a self-flow", fi)
 		}
 		// Receive accounting is dense by endpoint rank, so only endpoints
 		// can terminate flows.
 		if s.comp.RankOf[f.Dst] < 0 {
-			return nil, fmt.Errorf("netsim: flow %d destination %d is not an endpoint", fi, f.Dst)
+			return fmt.Errorf("netsim: flow %d destination %d is not an endpoint", fi, f.Dst)
 		}
 		// On a degraded fabric a flow whose destination was cut off fails
 		// up front with the typed routing error rather than panicking on an
 		// empty candidate set mid-simulation.
 		if s.mask != nil && !s.table.Reachable(f.Src, f.Dst) {
-			return nil, fmt.Errorf("netsim: flow %d: %w", fi, &routing.ErrUnreachable{From: f.Src, To: f.Dst})
+			return fmt.Errorf("netsim: flow %d: %w", fi, &routing.ErrUnreachable{From: f.Src, To: f.Dst})
 		}
 	}
 	s.flows = flows
-	s.flowSent = make([]int64, len(flows))
-	s.flowRecvd = make([]int64, len(flows))
+	for ci := range s.channels {
+		ch := &s.channels[ci]
+		ch.busy, ch.blocked = false, false
+		ch.queue = ch.queue[:0]
+		ch.head = 0
+		ch.queuedB = 0
+	}
+	clear(s.occ)
+	for i := range s.waiters {
+		s.waiters[i] = s.waiters[i][:0]
+	}
+	s.flowSent = resetSlice(s.flowSent, len(flows))
+	s.flowRecvd = resetSlice(s.flowRecvd, len(flows))
 	s.res = Result{
-		FlowFinish: make([]float64, len(flows)),
-		RecvByRank: make([]int64, s.comp.NumEndpoints()),
+		FlowFinish: resetSlice(s.res.FlowFinish, len(flows)),
+		RecvByRank: resetSlice(s.res.RecvByRank, s.comp.NumEndpoints()),
 		Endpoints:  s.comp.Endpoints,
 	}
 	if s.cfg.CollectLinkStats {
-		s.res.LinkBytes = make([]int64, len(s.channels))
+		s.res.LinkBytes = resetSlice(s.res.LinkBytes, len(s.channels))
 	}
 	s.events = s.events[:0]
+	return nil
+}
 
+// resetSlice returns a zeroed length-n slice, reusing s's backing array
+// when it is large enough.
+func resetSlice[T int64 | float64](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Run simulates the given flows to completion and returns the result. The
+// result's slices are owned by the Sim and invalidated by the next Run or
+// Reset on the same instance.
+func (s *Sim) Run(flows []Flow) (*Result, error) {
+	if err := s.Reset(flows); err != nil {
+		return nil, err
+	}
 	for fi, f := range flows {
 		if f.Bytes <= 0 {
 			s.res.FlowFinish[fi] = f.Start
@@ -417,11 +480,11 @@ func (s *Sim) pickOutput(node, dst int32) (int32, error) {
 // it, scheduling serialization and arrival events.
 func (s *Sim) startTransmit(ci int32, t float64) {
 	ch := &s.channels[ci]
-	if ch.busy || ch.blocked || len(ch.queue) == 0 {
+	if ch.busy || ch.blocked || ch.qlen() == 0 {
 		return
 	}
 	p := &s.comp.Ports[ci]
-	pkt := ch.queue[0]
+	pkt := ch.queue[ch.head]
 	if s.cfg.Mode == CreditFC && s.comp.IsSwitch(p.To) {
 		key := int(p.To)*routing.MaxVCs + int(pkt.vc)
 		if s.occ[key]+int64(pkt.size) > int64(s.cfg.LP.BufferB) {
@@ -430,7 +493,7 @@ func (s *Sim) startTransmit(ci int32, t float64) {
 			return
 		}
 	}
-	ch.queue = ch.queue[1:]
+	ch.pop()
 	ch.queuedB -= int64(pkt.size)
 	if s.cfg.Mode == CreditFC && pkt.relVC >= 0 {
 		s.releaseBufferAt(s.comp.Owner[ci], pkt.relVC, int64(pkt.size), t)

@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"testing"
+
+	"hammingmesh/internal/topo"
+)
+
+// TestResetReuseMatchesFreshSim pins that driving one Sim through a
+// sequence of runs (the sweep-job pattern) reproduces the results of a
+// fresh Sim per run bit-for-bit under the deterministic default config:
+// buffer reuse must be invisible to simulation semantics.
+func TestResetReuseMatchesFreshSim(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+	shifts := []int{1, 3, 7, 3, 12}
+	for _, mode := range []Mode{IdealBuffers, CreditFC} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		if mode == CreditFC {
+			cfg.LP.BufferB = 64 << 10
+		}
+		reused := NewNet(h.Network, nil, cfg)
+		for _, shift := range shifts {
+			flows := ShiftFlows(h.Endpoints, shift, 128<<10)
+			got, err := reused.Run(flows)
+			if err != nil {
+				t.Fatalf("mode %d shift %d: reused: %v", mode, shift, err)
+			}
+			gotMakespan, gotEvents, gotBytes := got.Makespan, got.Events, got.TotalBytes
+			gotFinish := append([]float64(nil), got.FlowFinish...)
+
+			want, err := NewNet(h.Network, nil, cfg).Run(flows)
+			if err != nil {
+				t.Fatalf("mode %d shift %d: fresh: %v", mode, shift, err)
+			}
+			if gotMakespan != want.Makespan || gotEvents != want.Events || gotBytes != want.TotalBytes {
+				t.Fatalf("mode %d shift %d: reused makespan=%v events=%d bytes=%d, fresh %v/%d/%d",
+					mode, shift, gotMakespan, gotEvents, gotBytes, want.Makespan, want.Events, want.TotalBytes)
+			}
+			for i := range want.FlowFinish {
+				if gotFinish[i] != want.FlowFinish[i] {
+					t.Fatalf("mode %d shift %d flow %d: finish %v != %v", mode, shift, i, gotFinish[i], want.FlowFinish[i])
+				}
+			}
+		}
+	}
+}
+
+// TestResetRejectsBadFlows checks Reset's validation surfaces the same
+// typed errors Run always produced.
+func TestResetRejectsBadFlows(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 2, 2, topo.DefaultLinkParams())
+	sim := NewNet(h.Network, nil, DefaultConfig())
+	if err := sim.Reset([]Flow{{Src: h.Endpoints[0], Dst: h.Endpoints[0], Bytes: 1}}); err == nil {
+		t.Error("self-flow not rejected by Reset")
+	}
+	// A rejected Reset must not poison the next valid Run.
+	res, err := sim.Run(ShiftFlows(h.Endpoints, 1, 8<<10))
+	if err != nil {
+		t.Fatalf("run after rejected reset: %v", err)
+	}
+	if res.TotalBytes == 0 {
+		t.Error("no bytes delivered after rejected reset")
+	}
+}

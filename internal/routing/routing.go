@@ -31,6 +31,7 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"hammingmesh/internal/simcore"
@@ -67,7 +68,22 @@ type Table struct {
 
 	dist []atomic.Pointer[[]int32]
 	cand []atomic.Pointer[candVec]
+
+	// candBytes approximates the memory held by cached candidate DAGs; the
+	// path sampler stops *adding* DAGs beyond candBudget (Candidates keeps
+	// building unconditionally — the packet simulator requires them).
+	candBytes  atomic.Int64
+	candBudget int64
 }
+
+// DefaultCandBudget is the candidate-DAG cache memory (in bytes) that path
+// sampling is allowed to grow per table, snapshot into each Table at
+// construction (see Table.SetCandBudget). Sampling walks a cached DAG in
+// O(1) per hop; past the budget it falls back to an adjacency scan that
+// yields bit-identical paths, so on 16k-endpoint clusters — where DAGs for
+// every destination would cost several GiB — memory stays bounded while
+// small tables get the fast path for free.
+const DefaultCandBudget = int64(512 << 20)
 
 // candVec is the compiled shortest-path DAG toward one destination: the
 // minimal candidate output ports of node u are
@@ -86,12 +102,18 @@ func NewTable(c *simcore.Compiled) *Table { return NewTableMask(c, nil) }
 // scenario is a new table).
 func NewTableMask(c *simcore.Compiled, mask simcore.PortMask) *Table {
 	return &Table{
-		C:    c,
-		mask: mask,
-		dist: make([]atomic.Pointer[[]int32], c.NumNodes()),
-		cand: make([]atomic.Pointer[candVec], c.NumNodes()),
+		C:          c,
+		mask:       mask,
+		dist:       make([]atomic.Pointer[[]int32], c.NumNodes()),
+		cand:       make([]atomic.Pointer[candVec], c.NumNodes()),
+		candBudget: DefaultCandBudget,
 	}
 }
+
+// SetCandBudget overrides this table's candidate-DAG cache budget (bytes);
+// see DefaultCandBudget. Call it right after construction, before the
+// table is shared across goroutines.
+func (t *Table) SetCandBudget(bytes int64) { t.candBudget = bytes }
 
 // NewTableNet is a convenience constructor from a raw network (compiled via
 // the simcore cache).
@@ -168,9 +190,17 @@ func (t *Table) buildCand(dst topo.NodeID) *candVec {
 	}
 	cv.off[c.NumNodes()] = int32(len(cv.ports))
 	if t.cand[dst].CompareAndSwap(nil, cv) {
+		t.candBytes.Add(4 * int64(len(cv.off)+len(cv.ports)))
 		return cv
 	}
 	return t.cand[dst].Load()
+}
+
+// candUnderBudget reports whether one more candidate DAG fits the table's
+// budget, using the worst-case per-destination footprint.
+func (t *Table) candUnderBudget() bool {
+	estimate := 4 * int64(t.C.NumNodes()+1+t.C.NumPorts()/2)
+	return t.candBytes.Load()+estimate <= t.candBudget
 }
 
 // Precompute fills the cache for the given destinations (useful before
@@ -180,6 +210,52 @@ func (t *Table) Precompute(dsts []topo.NodeID) {
 	for _, d := range dsts {
 		t.Dist(d)
 	}
+}
+
+// PrecomputeParallel warms the distance vectors — and, while the cache
+// fits the candidate budget, the candidate DAGs — of the given destinations, fanned
+// over the given number of goroutines. Vectors build lock-free (distinct
+// destinations never contend), so warming scales with cores; on the
+// 16k-endpoint clusters the serial warm-up dominates the first flow-level
+// solve and this cuts it by the worker count — and pre-warming avoids the
+// bounded-but-wasteful duplicate builds that racing cold sweep jobs would
+// otherwise perform.
+func (t *Table) PrecomputeParallel(dsts []topo.NodeID, workers int) {
+	if workers > len(dsts) {
+		workers = len(dsts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	warm := func(d topo.NodeID) {
+		if t.cand[d].Load() == nil && t.candUnderBudget() {
+			t.buildCand(d) // builds the distance vector as a side effect
+		} else {
+			t.Dist(d)
+		}
+	}
+	if workers == 1 {
+		for _, d := range dsts {
+			warm(d)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(dsts)) {
+					return
+				}
+				warm(dsts[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // NextPorts appends to buf the node-local indexes of ports on node `at`
@@ -233,47 +309,104 @@ func (t *Table) SamplePath(src, dst topo.NodeID, seed uint64) []topo.NodeID {
 // SamplePathErr is SamplePath with a typed *ErrUnreachable instead of a nil
 // path when no route exists.
 func (t *Table) SamplePathErr(src, dst topo.NodeID, seed uint64) ([]topo.NodeID, error) {
+	return t.AppendSamplePath(nil, src, dst, seed)
+}
+
+// AppendSamplePath is SamplePathErr appending into buf (usually buf[:0] of
+// a buffer from a previous sample), so hot path-sampling loops — the
+// flow-level solver draws PathsPerFlow samples per flow per shift — reuse
+// one backing array instead of allocating every path. On error buf may hold
+// a partial walk; only the returned slice is meaningful.
+func (t *Table) AppendSamplePath(buf []topo.NodeID, src, dst topo.NodeID, seed uint64) ([]topo.NodeID, error) {
+	path, _, err := t.AppendSamplePathPorts(buf, nil, src, dst, seed)
+	return path, err
+}
+
+// AppendSamplePathPorts is AppendSamplePath that also appends the global
+// port id chosen at every hop into portBuf (skipped when portBuf is nil),
+// so callers that need the traversed channels — the flow-level solver maps
+// each hop to its parallel-link group — avoid re-scanning the adjacency
+// for every path edge. The walk, the rng draw sequence and the chosen
+// branches are identical to SamplePath for equal seeds.
+func (t *Table) AppendSamplePathPorts(buf []topo.NodeID, portBuf []int32, src, dst topo.NodeID, seed uint64) ([]topo.NodeID, []int32, error) {
 	d := t.Dist(dst)
 	if d[src] < 0 {
-		return nil, &ErrUnreachable{From: src, To: dst}
+		return nil, portBuf, &ErrUnreachable{From: src, To: dst}
 	}
-	path := make([]topo.NodeID, 0, d[src]+1)
-	path = append(path, src)
+	// Prefer walking the precompiled candidate DAG: buildCand enumerates,
+	// per node, exactly the unmasked ports whose peer is one hop closer to
+	// dst, in port order — the same candidate set and order the adjacency
+	// scan below produces, at one slice index per hop. The DAG is built on
+	// first sample while the cache fits the table's budget; beyond it (16k-dst
+	// tables) the scan fallback keeps memory bounded with identical paths.
+	cv := t.cand[dst].Load()
+	if cv == nil && t.candUnderBudget() {
+		cv = t.buildCand(dst)
+	}
+	path := append(buf, src)
 	at := int32(src)
 	rng := seed
+	mask := t.mask
+	ports := t.C.Ports
+	// Candidate buffer for the scan fallback: the minimal fan-out is the
+	// node radix, so a fixed stack buffer covers all but degenerate nodes,
+	// which rescan for the picked candidate.
+	var cbuf [64]int32
 	for at != int32(dst) {
-		want := d[at] - 1
-		off := t.C.PortID(at, 0)
-		ports := t.C.PortsOf(at)
-		// Count candidates, then pick the rng-th. Masked ports are not
-		// candidates even when their peer is at the right distance (the
-		// peer may be reachable through a different, live port).
-		n := 0
-		for i := range ports {
-			if !t.mask.Get(off+int32(i)) && d[ports[i].To] == want {
-				n++
+		var n int
+		var cands []int32
+		if cv != nil {
+			cands = cv.ports[cv.off[at]:cv.off[at+1]]
+			n = len(cands)
+		} else {
+			// Collect unmasked minimal ports in port order. Masked ports
+			// are not candidates even when their peer is at the right
+			// distance (the peer may be reachable through a live port).
+			want := d[at] - 1
+			off, end := t.C.PortRange(at)
+			for pid := off; pid < end; pid++ {
+				if !mask.Get(pid) && d[ports[pid].To] == want {
+					if n < len(cbuf) {
+						cbuf[n] = pid
+					}
+					n++
+				}
 			}
+			cands = cbuf[:min(n, len(cbuf))]
 		}
 		if n == 0 {
 			// Unreachable mid-walk cannot happen when the distance vector
 			// and the mask agree; guard anyway so a future inconsistency
 			// surfaces as an error, not a modulo-by-zero panic.
-			return nil, &ErrUnreachable{From: topo.NodeID(at), To: dst}
+			return nil, portBuf, &ErrUnreachable{From: topo.NodeID(at), To: dst}
 		}
 		rng = rng*6364136223846793005 + 1442695040888963407
 		pick := int(rng>>33) % n
-		for i := range ports {
-			if !t.mask.Get(off+int32(i)) && d[ports[i].To] == want {
-				if pick == 0 {
-					at = ports[i].To
-					break
+		var chosen int32
+		if pick < len(cands) {
+			chosen = cands[pick]
+		} else {
+			// Wider-than-buffer fan-out in scan mode: rescan for the
+			// pick-th candidate.
+			want := d[at] - 1
+			off, end := t.C.PortRange(at)
+			for pid := off; pid < end; pid++ {
+				if !mask.Get(pid) && d[ports[pid].To] == want {
+					if pick == 0 {
+						chosen = pid
+						break
+					}
+					pick--
 				}
-				pick--
 			}
 		}
+		at = ports[chosen].To
 		path = append(path, topo.NodeID(at))
+		if portBuf != nil {
+			portBuf = append(portBuf, chosen)
+		}
 	}
-	return path, nil
+	return path, portBuf, nil
 }
 
 // VCPolicy decides the virtual channel of a packet after it traverses a

@@ -216,3 +216,96 @@ func TestUnreachableIsTypedError(t *testing.T) {
 		t.Fatalf("PathLen = %d, want -1", got)
 	}
 }
+
+// TestSamplePathScanMatchesDAG pins the sampler's two modes against each
+// other: the candidate-DAG walk (tables under their candidate budget) and the
+// adjacency-scan fallback (tables over it) must produce identical paths
+// and port choices for equal seeds, on pristine and masked fabrics —
+// that equality is what lets the budget trade memory for speed without
+// changing any result.
+func TestSamplePathScanMatchesDAG(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, lp())
+	c := simcore.Compile(h.Network)
+	mask := simcore.NewPortMask(c.NumPorts())
+	mask.Set(c.PortID(int32(c.Switches[0]), 1))
+	for _, m := range []simcore.PortMask{nil, mask} {
+		dag := NewTableMask(c, m)
+		scan := NewTableMask(c, m)
+		scan.SetCandBudget(0) // scan table never caches candidate DAGs
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			src := h.Endpoints[rng.Intn(len(h.Endpoints))]
+			dst := h.Endpoints[rng.Intn(len(h.Endpoints))]
+			if src == dst {
+				continue
+			}
+			seed := rng.Uint64()
+			p1, ports1, err1 := dag.AppendSamplePathPorts(nil, []int32{}, src, dst, seed)
+			p2, ports2, err2 := scan.AppendSamplePathPorts(nil, []int32{}, src, dst, seed)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d: err mismatch %v vs %v", trial, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("trial %d: path len %d vs %d", trial, len(p1), len(p2))
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("trial %d hop %d: node %d vs %d", trial, i, p1[i], p2[i])
+				}
+			}
+			for i := range ports1 {
+				if ports1[i] != ports2[i] {
+					t.Fatalf("trial %d hop %d: port %d vs %d", trial, i, ports1[i], ports2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSamplePathScanWideFanout exercises the scan fallback's rescan branch
+// for nodes whose minimal fan-out overflows the fixed candidate buffer
+// (>64 candidates — trunked links on over-budget tables, the 16k-cluster
+// case the budget exists for), pinning it against the DAG walk.
+func TestSamplePathScanWideFanout(t *testing.T) {
+	n := &topo.Network{Name: "widefanout"}
+	src := n.AddNode(topo.Endpoint)
+	a := n.AddNode(topo.Switch)
+	b := n.AddNode(topo.Switch)
+	dst := n.AddNode(topo.Endpoint)
+	n.Link(src, a, topo.PCB, 50, 20)
+	for i := 0; i < 70; i++ {
+		n.Link(a, b, topo.PCB, 50, 20) // 70-wide trunk: fan-out > cbuf
+	}
+	n.Link(b, dst, topo.PCB, 50, 20)
+	c := simcore.Compile(n)
+	dag := NewTableMask(c, nil)
+	scan := NewTableMask(c, nil)
+	scan.SetCandBudget(0)
+	sawRescan := false
+	for seed := uint64(0); seed < 300; seed++ {
+		p1, ports1, err1 := dag.AppendSamplePathPorts(nil, []int32{}, src, dst, seed)
+		p2, ports2, err2 := scan.AppendSamplePathPorts(nil, []int32{}, src, dst, seed)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: errors %v / %v", seed, err1, err2)
+		}
+		if len(p1) != 4 || len(p2) != 4 {
+			t.Fatalf("seed %d: path lengths %d/%d, want 4", seed, len(p1), len(p2))
+		}
+		for i := range ports1 {
+			if ports1[i] != ports2[i] {
+				t.Fatalf("seed %d hop %d: DAG port %d != scan port %d", seed, i, ports1[i], ports2[i])
+			}
+		}
+		// The trunk hop's pick lands past the 64-entry buffer for ~6/70 of
+		// the seeds, driving the rescan branch.
+		if trunkPort := ports1[1] - c.PortID(int32(a), 0); trunkPort >= 64 {
+			sawRescan = true
+		}
+	}
+	if !sawRescan {
+		t.Fatal("no seed exercised the >64-candidate rescan branch")
+	}
+}

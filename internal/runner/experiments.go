@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"hammingmesh/internal/core"
+	"hammingmesh/internal/flowsim"
 	"hammingmesh/internal/netsim"
 )
 
@@ -54,6 +55,71 @@ func (p *Pool) AlltoallPacketShare(c *core.Cluster, cfg netsim.Config, bytes int
 		sum += s
 	}
 	return sum / float64(len(shares)), nil
+}
+
+// AlltoallFlowShare measures the flow-level alltoall bandwidth share of
+// the cluster's injection bandwidth by solving nShifts sampled shift
+// permutations as parallel jobs — the fast path for the paper's
+// large-cluster (16,384-accelerator) Table II numbers, where the packet
+// sweep is out of reach. The shift sequence and the harmonic-mean
+// aggregation match the serial flowsim AlltoallShareOver; each job gets a
+// fresh solver over the shared compiled network and routing table plus a
+// decorrelated path-sampling seed, so the result is bit-identical for any
+// worker count (it is not draw-for-draw comparable with the serial API,
+// whose single solver carries parallel-link round-robin cursors across
+// shifts).
+//
+// The shared table is pre-warmed in parallel before the fan-out: every
+// shift touches every destination, so cold jobs would race to build the
+// same distance vectors and candidate DAGs (the lock-free cache tolerates
+// but duplicates that work).
+func (p *Pool) AlltoallFlowShare(c *core.Cluster, cfg flowsim.Config, nShifts int, seed uint64) (float64, error) {
+	eps := c.AliveEndpoints()
+	nEp := len(eps)
+	if nEp < 2 {
+		return 0, fmt.Errorf("runner: need ≥2 endpoints")
+	}
+	c.Table.PrecomputeParallel(eps, p.workers)
+	if cfg.ValiantPaths > 0 {
+		// Valiant detours route via random switch intermediates, so their
+		// head segments need per-switch vectors too.
+		c.Table.PrecomputeParallel(c.Comp.Switches, p.workers)
+	}
+	shifts := flowsim.SampleShifts(nEp, nShifts, seed)
+	jobs := make([]Job, len(shifts))
+	for i, shift := range shifts {
+		jobCfg := cfg
+		jobCfg.Seed = uint64(JobSeed(int64(cfg.Seed), i)) // decorrelate path sampling per shift
+		jobs[i] = Job{
+			Name: fmt.Sprintf("alltoall-flow-shift%d", shift),
+			Run: func(ctx *Ctx) (any, error) {
+				rates, err := flowsim.New(c.Comp, c.Table, jobCfg).Solve(flowsim.ShiftFlows(eps, shift))
+				if err != nil {
+					return nil, err
+				}
+				mean := 0.0
+				for _, r := range rates {
+					mean += r
+				}
+				mean /= float64(len(rates))
+				if mean <= 0 {
+					return nil, fmt.Errorf("runner: zero-rate shift %d", shift)
+				}
+				return mean, nil
+			},
+		}
+	}
+	means, err := Float64s(p.Run(jobs))
+	if err != nil {
+		return 0, err
+	}
+	// Harmonic mean over iterations = effective sustained bandwidth (the
+	// paper's barrier-free balanced-shift alltoall).
+	sumInv := 0.0
+	for _, m := range means {
+		sumInv += 1 / m
+	}
+	return float64(len(means)) / sumInv / c.SimInjectionGBps(), nil
 }
 
 // PermutationSweepGBps runs nPerms independent random-permutation packet

@@ -123,9 +123,11 @@ func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, 
 					eps := fc.AliveEndpoints()
 					sumShare, sumMk := 0.0, 0.0
 					sampled := netsim.SampleShifts(len(eps), shifts, JobSeed(seed, tr)^0x5deece66d)
+					// One simulator per job, reset between shifts: queue and
+					// accounting arrays are reused across the whole trial.
+					sim := netsim.New(fc.Comp, fc.Table, jobCfg)
 					for _, shift := range sampled {
-						res, err := netsim.New(fc.Comp, fc.Table, jobCfg).Run(
-							netsim.ShiftFlows(eps, shift, bytes))
+						res, err := sim.Run(netsim.ShiftFlows(eps, shift, bytes))
 						if err != nil {
 							return nil, err
 						}

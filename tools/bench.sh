@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the tracked performance benchmarks and emit a JSON
+# trajectory file (default BENCH_PR4.json) for CI artifacts, so the
+# ns/op, allocs/op and events/op of the hot paths are comparable across
+# PRs:
+#
+#   PacketSim            raw packet-engine throughput (Reset-reuse path)
+#   AlltoallSweep        pooled packet-level alltoall shift sweep
+#   AlltoallSweepFaulted the same sweep on a 10%-degraded fabric
+#   FlowSolverLarge      flow-level alltoall on the 16,384-endpoint Hx2Mesh
+#
+# Usage:
+#   tools/bench.sh [out.json]
+#
+# Environment:
+#   SHORT=0       run the full-size benchmarks (default 1: -short, CI mode)
+#   BENCHTIME=5x  override -benchtime (default 1x)
+#
+# Raw `go test -bench` output is kept next to the JSON as bench-raw.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+raw="bench-raw.txt"
+args=(-run '^$'
+  -bench 'BenchmarkPacketSim$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
+  -benchmem -benchtime "${BENCHTIME:-1x}")
+if [ "${SHORT:-1}" = "1" ]; then
+  args+=(-short)
+fi
+
+go test "${args[@]}" . | tee "$raw"
+
+# One JSON object per benchmark line: name, iterations, then every
+# value/unit metric pair go test printed (ns/op, B/op, allocs/op,
+# events/op, %inject, ...).
+awk '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  sub(/^Benchmark/, "", name)
+  printf "%s  {\"name\":\"%s\",\"iterations\":%s", sep, name, $2
+  for (i = 3; i + 1 <= NF; i += 2) {
+    printf ",\"%s\":%s", $(i + 1), $i
+  }
+  printf "}"
+  sep = ",\n"
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$raw" > "$out"
+
+echo "wrote $out"
