@@ -20,6 +20,14 @@
 //	hxalloc -cdf                               # Fig. 7 distribution
 //	hxalloc -mode sched -grid 8x8 -jobs 200 -mtbf 0,120,40 -ckpt 1,4
 //	hxalloc -mode sched -trace trace.json -mtbf 0,100
+//	hxalloc -mode sched -grid 8x8 -reserve 0,1 -burst 0,0.1 -defrag 0,0.35
+//
+// The scheduler-v2 axes: -reserve sweeps EASY reservation backfill
+// (bounding large-job wait), -burst adds correlated rack/row outages at
+// the given rates (region set by -burst-shape, nested across rates within
+// a trial), and -defrag sweeps the fragmentation threshold that triggers
+// the checkpoint-migrate defragmentation pass (-defrag-cost hours of
+// transfer overhead per migrated job, charged as lost work).
 package main
 
 import (
@@ -60,6 +68,11 @@ func main() {
 	policyList := flag.String("policies", "firstfit,bestfit,fragaware", "sched: placement policies")
 	trials := flag.Int("trials", 4, "sched: seeded trials per point")
 	traceFile := flag.String("trace", "", "sched: JSON trace file (overrides the synthetic generator)")
+	reserveList := flag.String("reserve", "0", "sched: EASY reservation backfill values to sweep (0=off, 1=on, e.g. 0,1)")
+	burstList := flag.String("burst", "0", "sched: correlated-outage rates in bursts/hour (0 = independent only)")
+	burstShape := flag.String("burst-shape", "4x1", "sched: burst region WxH in boards (rack segment / row outage)")
+	defragList := flag.String("defrag", "0", "sched: fragmentation thresholds triggering checkpoint-migrate defrag (0 = off)")
+	defragCost := flag.Float64("defrag-cost", 0.1, "sched: checkpoint-transfer overhead per migrated job, hours")
 	flag.Parse()
 
 	d := workload.AlibabaLike()
@@ -86,6 +99,8 @@ func main() {
 			jobs: *jobs, arrival: *arrival, service: *service, commfrac: *commfrac,
 			horizon: *horizon, repair: *repair, mtbfs: *mtbfList, ckpts: *ckptList,
 			policies: *policyList, trials: *trials, seed: *seed, traceFile: *traceFile,
+			reserves: *reserveList, bursts: *burstList, burstShape: *burstShape,
+			defrags: *defragList, defragCost: *defragCost,
 		})
 		return
 	}
@@ -136,6 +151,9 @@ type schedFlags struct {
 	arrival, service, commfrac        float64
 	horizon, repair                   float64
 	mtbfs, ckpts, policies, traceFile string
+	reserves, bursts, burstShape      string
+	defrags                           string
+	defragCost                        float64
 	trials                            int
 	seed                              int64
 }
@@ -158,17 +176,29 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 		}
 		policies = append(policies, p)
 	}
+	var reserves []bool
+	for _, v := range parseFloats(f.reserves, "-reserve") {
+		reserves = append(reserves, v != 0)
+	}
+	var shapeW, shapeH int
+	if _, err := fmt.Sscanf(f.burstShape, "%dx%d", &shapeW, &shapeH); err != nil || shapeW < 1 || shapeH < 1 {
+		fatalf("bad -burst-shape %q (want WxH, e.g. 4x1)", f.burstShape)
+	}
 	cfg := runner.SchedSweepConfig{
 		Trace: sched.TraceConfig{
 			Jobs: f.jobs, ArrivalRate: f.arrival, MeanService: f.service,
 			AccelsPerBoard: accelsPerBoard, MaxBoards: x * y, CommFrac: f.commfrac,
 		},
-		Base:         sched.Config{HorizonH: f.horizon, RepairH: f.repair},
-		MTBFs:        mtbfs,
-		CheckpointsH: ckpts,
-		Policies:     policies,
-		Trials:       f.trials,
-		Seed:         f.seed,
+		Base:             sched.Config{HorizonH: f.horizon, RepairH: f.repair, DefragCostH: f.defragCost},
+		MTBFs:            mtbfs,
+		CheckpointsH:     ckpts,
+		Policies:         policies,
+		Reservations:     reserves,
+		BurstRates:       parseFloats(f.bursts, "-burst"),
+		Burst:            sched.BurstShape{W: shapeW, H: shapeH},
+		DefragThresholds: parseFloats(f.defrags, "-defrag"),
+		Trials:           f.trials,
+		Seed:             f.seed,
 	}
 	if f.traceFile != "" {
 		file, err := os.Open(f.traceFile)
@@ -185,22 +215,29 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	fmt.Printf("scheduler sweep: %dx%d boards, horizon %gh, repair %gh, %d trials, %d workers\n\n",
-		x, y, f.horizon, f.repair, f.trials, pool.Workers())
-	fmt.Printf("%-9s %6s %7s | %8s %8s %6s | %7s %7s %7s %7s | %6s %6s\n",
-		"policy", "ckpt-h", "mtbf-h", "goodput", "util", "lost", "waitP50", "waitP99", "slowP50", "slowP99", "done", "evict")
+	fmt.Printf("scheduler sweep: %dx%d boards, horizon %gh, repair %gh, burst shape %dx%d, %d trials, %d workers\n\n",
+		x, y, f.horizon, f.repair, shapeW, shapeH, f.trials, pool.Workers())
+	fmt.Printf("%-9s %6s %3s %6s %6s %7s | %8s %8s %6s | %7s %7s %8s | %6s %6s %6s\n",
+		"policy", "ckpt-h", "res", "defrag", "burst", "mtbf-h",
+		"goodput", "util", "lost", "waitP50", "waitP99", "maxWaitL", "done", "evict", "migr")
 	for i, pt := range pts {
-		if i > 0 && (pt.Policy != pts[i-1].Policy || pt.CheckpointH != pts[i-1].CheckpointH) {
+		if i > 0 && (pt.Policy != pts[i-1].Policy || pt.CheckpointH != pts[i-1].CheckpointH ||
+			pt.Reservation != pts[i-1].Reservation || pt.DefragThreshold != pts[i-1].DefragThreshold ||
+			pt.BurstRate != pts[i-1].BurstRate) {
 			fmt.Println()
 		}
 		mtbf := "inf"
 		if pt.MTBFh > 0 {
 			mtbf = fmt.Sprintf("%g", pt.MTBFh)
 		}
-		fmt.Printf("%-9s %6g %7s | %7.1f%% %7.1f%% %5.1f%% | %7.2f %7.2f %7.2f %7.2f | %6.0f %6.1f\n",
-			pt.Policy, pt.CheckpointH, mtbf,
+		res := "off"
+		if pt.Reservation {
+			res = "on"
+		}
+		fmt.Printf("%-9s %6g %3s %6g %6g %7s | %7.1f%% %7.1f%% %5.1f%% | %7.2f %7.2f %8.2f | %6.0f %6.1f %6.1f\n",
+			pt.Policy, pt.CheckpointH, res, pt.DefragThreshold, pt.BurstRate, mtbf,
 			100*pt.Goodput, 100*pt.Utilization, 100*pt.LostFrac,
-			pt.WaitP50, pt.WaitP99, pt.SlowP50, pt.SlowP99, pt.Completed, pt.Evictions)
+			pt.WaitP50, pt.WaitP99, pt.MaxWaitLarge, pt.Completed, pt.Evictions, pt.Migrations)
 	}
 }
 

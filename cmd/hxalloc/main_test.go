@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hammingmesh/internal/cmdtest"
+)
+
+// Smoke: hxalloc's static allocation study (Fig. 8 mode) runs on a tiny
+// grid and prints utilization for every heuristic stack.
+func TestHxallocFig8Smoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	out := cmdtest.Run(t, bin, "-grid", "4x4", "-mixes", "3")
+	cmdtest.MustContain(t, out, "grid 4x4 (16 boards)", "heuristics (Fig. 8)")
+	cmdtest.Percents(t, out, 5)
+
+	// The Fig. 7 CDF mode.
+	out = cmdtest.Run(t, bin, "-cdf")
+	cmdtest.MustContain(t, out, "board CDF (Fig. 7)")
+
+	cmdtest.RunExpectError(t, bin, "-grid", "bogus")
+	cmdtest.RunExpectError(t, bin, "-mode", "nosuchmode")
+}
+
+// Smoke: hxalloc's trace-driven scheduler mode sweeps the v2 axes
+// (reservation x burst x defrag) on a tiny grid and prints one row per
+// point.
+func TestHxallocSchedSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	out := cmdtest.Run(t, bin, "-mode", "sched", "-grid", "4x4",
+		"-jobs", "30", "-horizon", "20", "-mtbf", "0,40", "-ckpt", "2",
+		"-policies", "firstfit", "-trials", "2",
+		"-reserve", "0,1", "-burst", "0,0.1", "-burst-shape", "2x1", "-defrag", "0,0.35")
+	cmdtest.MustContain(t, out, "scheduler sweep: 4x4 boards", "burst shape 2x1",
+		"goodput", "maxWaitL")
+	// 1 policy x 1 ckpt x 2 reservation x 2 defrag x 2 burst x 2 mtbf.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "firstfit") {
+			rows++
+		}
+	}
+	if rows != 16 {
+		t.Fatalf("sweep printed %d point rows, want 16:\n%s", rows, out)
+	}
+	cmdtest.Percents(t, out, 16)
+
+	cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4", "-policies", "nosuchpolicy")
+	cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4", "-burst-shape", "bogus")
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hammingmesh/internal/cmdtest"
+)
+
+// Smoke: hxcost regenerates the Table II cost columns and, with -verify,
+// cross-checks the closed-form inventories against built graphs.
+func TestHxcostSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	out := cmdtest.Run(t, bin, "-size", "small")
+	cmdtest.MustContain(t, out, "unit prices",
+		"Small cluster", "hx2mesh", "hx4mesh", "cost [M$]", "paper [M$]")
+	if strings.Contains(out, "Large cluster") {
+		t.Fatalf("-size small printed the large cluster:\n%s", out)
+	}
+
+	out = cmdtest.Run(t, bin, "-size", "both")
+	cmdtest.MustContain(t, out, "Small cluster", "Large cluster")
+
+	// -verify instantiates the graph builders; the derived inventories
+	// must appear for every verified topology.
+	out = cmdtest.Run(t, bin, "-size", "small", "-verify")
+	cmdtest.MustContain(t, out, "graph-derived inventories (small cluster):")
+	for _, topo := range []string{"hyperx", "hx2mesh", "hx4mesh", "torus", "fattree"} {
+		found := false
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, topo) && strings.Contains(l, "sw=") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("-verify printed no derived inventory for %s:\n%s", topo, out)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hammingmesh/internal/cmdtest"
+)
+
+// Smoke: hxdnn prints the per-model iteration-time table and the Fig. 15
+// savings, with parseable positive runtimes for every model row.
+func TestHxdnnSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	out := cmdtest.Run(t, bin)
+	cmdtest.MustContain(t, out, "modeled iteration time [ms]",
+		"ResNet-152", "CosmoFlow", "GPT-3", "DLRM", "hx2mesh", "hx4mesh")
+	for _, model := range []string{"ResNet-152", "CosmoFlow", "GPT-3", "DLRM"} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, model) {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("no row for %s:\n%s", model, out)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("row %q has no runtimes", line)
+		}
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("row %q: runtime %q not a positive number", line, f)
+			}
+		}
+	}
+
+	// -paper adds the published reference rows.
+	out = cmdtest.Run(t, bin, "-paper")
+	cmdtest.MustContain(t, out, "paper-reported iteration time [ms]:", "Fig. 15")
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"hammingmesh/internal/cmdtest"
+)
+
+// Smoke: hxsim builds, runs the tiny packet-level alltoall, and reports
+// sane bandwidth shares, both pristine and degraded.
+func TestHxsimSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	out := cmdtest.Run(t, bin, "-topo", "hx2mesh", "-size", "tiny",
+		"-pattern", "alltoall", "-shifts", "2", "-bytes", "32768")
+	cmdtest.MustContain(t, out,
+		"topology hx2mesh (tiny)",
+		"alltoall global bandwidth share (flow-level",
+		"alltoall global bandwidth share (packet-level")
+	cmdtest.Percents(t, out, 2)
+
+	// Degraded fabric: failed links and a dead board still produce a
+	// measurement.
+	out = cmdtest.Run(t, bin, "-topo", "hx2mesh", "-size", "tiny",
+		"-pattern", "alltoall", "-shifts", "2", "-bytes", "32768",
+		"-fail-links", "0.05", "-fail-boards", "1", "-fail-seed", "3")
+	cmdtest.MustContain(t, out, "alltoall global bandwidth share")
+	cmdtest.Percents(t, out, 1)
+
+	// Bad flags exit non-zero.
+	cmdtest.RunExpectError(t, bin, "-topo", "nosuchtopo")
+}

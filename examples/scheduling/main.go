@@ -81,4 +81,56 @@ func main() {
 		fmt.Printf("    mtbf %sh: goodput %5.1f%%  (lost to restarts %4.1f%%, %4.1f evictions/trial)\n",
 			mtbf, 100*pt.Goodput, 100*pt.LostFrac, pt.Evictions)
 	}
+
+	// 4. Reservation vs greedy backfill: an adversarial trace — four small
+	// jobs fill the grid, a 16-board job arrives behind them, and a steady
+	// small-job stream keeps part of the grid busy for hours. Greedy
+	// backfill starves the big job (all 16 boards are never simultaneously
+	// free); an EASY reservation holds the projected boards and admits
+	// small jobs only if they finish before it, so the big job starts the
+	// moment the first wave completes.
+	adversarial := []sched.TraceJob{}
+	id := int32(0)
+	add := func(arrival float64, boards int, service float64) {
+		adversarial = append(adversarial, sched.TraceJob{ID: id, Arrival: arrival, Boards: boards, Service: service})
+		id++
+	}
+	for i := 0; i < 4; i++ {
+		add(0, 4, 3)
+	}
+	add(0.5, 16, 4) // the large job
+	for i := 0; i < 20; i++ {
+		add(1+0.7*float64(i), 4, 3)
+	}
+	fmt.Println("\nreservation vs greedy backfill (adversarial small-job stream, 16-board job):")
+	for _, reservation := range []bool{false, true} {
+		m, err := sched.Run(c.Grid.X, c.Grid.Y, adversarial, nil,
+			sched.Config{Policy: sched.FirstFit, HorizonH: 60, Reservation: reservation})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "greedy     "
+		if reservation {
+			mode = "reservation"
+		}
+		fmt.Printf("  %s: max large-job wait %5.1fh, utilization %.1f%%, %d reservations\n",
+			mode, m.MaxWaitLarge, 100*m.Utilization, m.Reservations)
+	}
+
+	// 5. Correlated bursts and defragmentation: a 2x1-rack burst process
+	// merges with the independent failures, and a fragmentation threshold
+	// triggers checkpoint-migrate repacking (migrated jobs pay the
+	// transfer cost as lost work).
+	bursts := sched.NewBursts(c.Grid.X, c.Grid.Y, sched.BurstShape{W: 2, H: 1}, 40, 0.08, 9)
+	m2, err := sched.Run(c.Grid.X, c.Grid.Y, trace, sched.MergeFailures(fails, bursts.Thin(0.08)), sched.Config{
+		Policy: sched.BestFit, CheckpointH: 2, RepairH: 10, HorizonH: 40,
+		Slowdown:    sched.NewCommSlowdown(c.Hx.Cfg.A, c.Hx.Cfg.B),
+		Reservation: true, DefragThreshold: 0.3, DefragCostH: 0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nburst+defrag run (%d bursts sampled, threshold 0.3):\n", bursts.Sampled())
+	fmt.Printf("  goodput %.1f%%, %d evictions, %d defrag passes migrating %d jobs (%.1f board-h overhead)\n",
+		100*m2.Goodput, m2.Evictions, m2.Defrags, m2.Migrations, m2.MigratedBoardH)
 }

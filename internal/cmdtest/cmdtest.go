@@ -1,0 +1,83 @@
+// Package cmdtest builds and runs the repo's command binaries for the
+// cmd/ smoke tests: each binary is compiled once per test into a temp
+// directory and executed with a tiny configuration, asserting a zero exit
+// code and parseable output. Keeping the helper here gives all four
+// binaries one place for the build/run/parse plumbing.
+package cmdtest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Build compiles the command package in the test's working directory
+// (tests run with cwd = their package directory) into a temporary binary
+// and returns its path.
+func Build(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cmd.bin")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Run executes the binary with args, asserting exit code 0, and returns
+// the combined output.
+func Run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// RunExpectError executes the binary expecting a non-zero exit and returns
+// the combined output (flag validation paths).
+func RunExpectError(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %s: exit 0, want failure\n%s", filepath.Base(bin), strings.Join(args, " "), out)
+	}
+	return string(out)
+}
+
+// MustContain asserts every marker appears in the output.
+func MustContain(t *testing.T, out string, markers ...string) {
+	t.Helper()
+	for _, m := range markers {
+		if !strings.Contains(out, m) {
+			t.Fatalf("output missing %q:\n%s", m, out)
+		}
+	}
+}
+
+var percentRE = regexp.MustCompile(`(\d+(?:\.\d+)?)%`)
+
+// Percents extracts every "N.N%" value from the output, asserting at least
+// min of them parse and all land in [0, 100].
+func Percents(t *testing.T, out string, min int) []float64 {
+	t.Helper()
+	var vals []float64
+	for _, m := range percentRE.FindAllStringSubmatch(out, -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("bad percent %q in output", m[0])
+		}
+		if v < 0 || v > 100 {
+			t.Fatalf("percent %.2f outside [0,100] in output:\n%s", v, out)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) < min {
+		t.Fatalf("found %d percent values, want ≥ %d:\n%s", len(vals), min, out)
+	}
+	return vals
+}

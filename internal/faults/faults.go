@@ -156,6 +156,32 @@ func (b *Builder) FailBoard(h *topo.HxMesh, bx, by int) *Builder {
 	return b
 }
 
+// FailBoardRegion fails every board of the w×ht region anchored at board
+// (bx, by) — the correlated rack/row outage of the scheduler's burst model:
+// a power or cooling event takes out a contiguous block of boards at once
+// instead of independent singles. The region is clipped at the mesh edges
+// (racks are physical; outages do not wrap), so anchors near the boundary
+// produce smaller bursts. Boards already failed are failed again
+// idempotently (FailNode dedupes ports).
+func (b *Builder) FailBoardRegion(h *topo.HxMesh, bx, by, w, ht int) *Builder {
+	for dy := 0; dy < ht; dy++ {
+		for dx := 0; dx < w; dx++ {
+			x, y := bx+dx, by+dy
+			if x < 0 || y < 0 || x >= h.Cfg.X || y >= h.Cfg.Y {
+				continue
+			}
+			b.FailBoard(h, x, y)
+		}
+	}
+	return b
+}
+
+// FailBoardRow fails a whole board row — the row-outage special case of
+// FailBoardRegion (e.g. one PDU feeding a full row of racks).
+func (b *Builder) FailBoardRow(h *topo.HxMesh, by int) *Builder {
+	return b.FailBoardRegion(h, 0, by, h.Cfg.X, 1)
+}
+
 // Build freezes the accumulated failures into an immutable FaultSet.
 func (b *Builder) Build() *FaultSet {
 	f := &FaultSet{

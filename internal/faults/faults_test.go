@@ -161,6 +161,42 @@ func TestFailBoardKillsItsEndpoints(t *testing.T) {
 
 func alivePairs(fs *FaultSet) []topo.NodeID { return fs.SurvivingEndpoints() }
 
+// FailBoardRegion is the rack/row outage of the scheduler's burst model: a
+// contiguous board block goes down at once, clipped at the mesh edges.
+func TestFailBoardRegionClipsAndKills(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+	c := simcore.Of(h.Network)
+
+	// A 2x2 region fully inside the mesh: 4 boards, 16 dead accelerators.
+	fs := NewBuilder(c).FailBoardRegion(h, 1, 1, 2, 2).Build()
+	if got := len(fs.FailedBoards()); got != 4 {
+		t.Fatalf("interior 2x2 region failed %d boards, want 4", got)
+	}
+	perBoard := len(h.BoardAccels(0, 0))
+	if got, want := len(fs.SurvivingEndpoints()), c.NumEndpoints()-4*perBoard; got != want {
+		t.Fatalf("survivors = %d, want %d", got, want)
+	}
+
+	// The same region anchored at the corner (3, 3) clips to one board.
+	fs = NewBuilder(c).FailBoardRegion(h, 3, 3, 2, 2).Build()
+	if got := len(fs.FailedBoards()); got != 1 {
+		t.Fatalf("corner 2x2 region failed %d boards, want 1 (clipped)", got)
+	}
+
+	// A row outage kills exactly one full board row.
+	fs = NewBuilder(c).FailBoardRow(h, 2).Build()
+	if got := len(fs.FailedBoards()); got != h.Cfg.X {
+		t.Fatalf("row outage failed %d boards, want %d", got, h.Cfg.X)
+	}
+	for bx := 0; bx < h.Cfg.X; bx++ {
+		for _, id := range h.BoardAccels(bx, 2) {
+			if !fs.NodeDown(id) {
+				t.Fatalf("row-outage endpoint %d on board (%d,2) not down", id, bx)
+			}
+		}
+	}
+}
+
 func TestSampleLinksNestedAndCounted(t *testing.T) {
 	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
 	c := simcore.Of(h.Network)

@@ -31,6 +31,21 @@ type SchedSweepConfig struct {
 	CheckpointsH []float64
 	// Policies are the placement policies to sweep.
 	Policies []sched.Policy
+	// Reservations sweeps EASY reservation backfill on/off. Empty means
+	// the single value Base.Reservation.
+	Reservations []bool
+	// BurstRates sweeps the correlated-outage rate in bursts/hour (0 =
+	// independent failures only). Within a trial the burst sets are nested
+	// across rates (sched.Bursts thinning), like the MTBF axis. Empty
+	// means the single value 0.
+	BurstRates []float64
+	// Burst is the board-region footprint of one burst (zero value means
+	// sched.DefaultBurstShape, a 4x1 rack segment).
+	Burst sched.BurstShape
+	// DefragThresholds sweeps the fragmentation threshold that triggers
+	// checkpoint-migrate defragmentation (0 = disabled). Empty means the
+	// single value Base.DefragThreshold.
+	DefragThresholds []float64
 	// Trials is the number of seeded trials per point (min 1).
 	Trials int
 	// Seed derives every per-trial trace, board sequence and failure
@@ -43,6 +58,12 @@ type SchedSweepConfig struct {
 type SchedPoint struct {
 	Policy      sched.Policy
 	CheckpointH float64
+	// Reservation, BurstRate and DefragThreshold identify the point on the
+	// scheduler-v2 axes (reservation backfill on/off, correlated bursts
+	// per hour, defragmentation trigger).
+	Reservation     bool
+	BurstRate       float64
+	DefragThreshold float64
 	// MTBFh is the per-board MTBF of the point (0 = no failures).
 	MTBFh float64
 	// Goodput is the mean fraction of raw board-hours converted to
@@ -64,16 +85,24 @@ type SchedPoint struct {
 	SlowP50, SlowP99 float64
 	// Completed and Evictions are mean counts per trial.
 	Completed, Evictions float64
-	Trials               int
+	// MaxWaitLarge is the worst large-job wait of any trial, in hours —
+	// the bound reservation backfill buys.
+	MaxWaitLarge float64
+	// Defrags and Migrations are mean defragmentation passes and job
+	// migrations per trial.
+	Defrags, Migrations float64
+	Trials              int
 }
 
 // SchedSweep runs the scheduler sweep on the pool, one job per (point,
-// trial), and returns the points in (policy, checkpoint, MTBF) list order.
-// Every trial draws its trace, board-failure order and failure timing from
-// seeds derived only from cfg.Seed and the trial index, so results are
-// identical for any worker count; within a trial the failure sets are
-// nested across MTBF values (sched.Failures), which makes the goodput
-// curve of each (policy, checkpoint) group measure monotone degradation.
+// trial), and returns the points in (policy, checkpoint, reservation,
+// defrag, burst, MTBF) list order — MTBF innermost, so each consecutive
+// len(MTBFs) block is one utilization-vs-MTBF curve. Every trial draws its
+// trace, board-failure order, failure timing and burst process from seeds
+// derived only from cfg.Seed and the trial index, so results are identical
+// for any worker count; within a trial the failure sets are nested across
+// MTBF values (sched.Failures) and burst rates (sched.Bursts), which makes
+// the goodput curve of each group measure monotone degradation.
 func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, error) {
 	if c.Hx == nil || c.Grid == nil {
 		return nil, fmt.Errorf("runner: scheduler sweeps need an HxMesh-family cluster, got %s", c.Net.Meta.Family)
@@ -102,24 +131,59 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 	}
 	x, y := c.Grid.X, c.Grid.Y
 
+	// The scheduler-v2 axes default to a single inert value so pre-v2
+	// sweeps reproduce their points unchanged.
+	reservations := cfg.Reservations
+	if len(reservations) == 0 {
+		reservations = []bool{base.Reservation}
+	}
+	burstRates := cfg.BurstRates
+	if len(burstRates) == 0 {
+		burstRates = []float64{0}
+	}
+	defrags := cfg.DefragThresholds
+	if len(defrags) == 0 {
+		defrags = []float64{base.DefragThreshold}
+	}
+	maxBurst := 0.0
+	for _, r := range burstRates {
+		if r > maxBurst {
+			maxBurst = r
+		}
+	}
+	burstShape := cfg.Burst
+	if burstShape.W < 1 && burstShape.H < 1 {
+		burstShape = sched.DefaultBurstShape()
+	}
+
 	type pointKey struct {
-		pi, ci, mi int
+		pi, ci, ri, di, bi, mi int
 	}
 	var keys []pointKey
 	for pi := range cfg.Policies {
 		for ci := range cfg.CheckpointsH {
-			for mi := range cfg.MTBFs {
-				keys = append(keys, pointKey{pi, ci, mi})
+			for ri := range reservations {
+				for di := range defrags {
+					for bi := range burstRates {
+						for mi := range cfg.MTBFs {
+							keys = append(keys, pointKey{pi, ci, ri, di, bi, mi})
+						}
+					}
+				}
 			}
 		}
 	}
 
 	// Per-trial inputs are shared by every point of the trial; build them
 	// as a first round of pool jobs (trace synthesis and failure sampling
-	// are the sweep's only serial state).
+	// are the sweep's only serial state). Both failure processes are
+	// sampled once per trial at their highest rate and thinned per point,
+	// so each trial's failure sets are nested along the MTBF and burst
+	// axes.
 	type trialInput struct {
 		trace []sched.TraceJob
 		fp    *sched.Failures
+		bp    *sched.Bursts
 	}
 	prepJobs := make([]Job, trials)
 	for tr := 0; tr < trials; tr++ {
@@ -135,6 +199,9 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 				if minMTBF > 0 {
 					boards := sched.BoardSequence(c.Hx, c.Comp, seed)
 					in.fp = sched.NewFailures(boards, base.HorizonH, minMTBF, seed)
+				}
+				if maxBurst > 0 {
+					in.bp = sched.NewBursts(x, y, burstShape, base.HorizonH, maxBurst, seed)
 				}
 				return in, nil
 			},
@@ -156,14 +223,20 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 			runCfg := base
 			runCfg.Policy = cfg.Policies[k.pi]
 			runCfg.CheckpointH = cfg.CheckpointsH[k.ci]
+			runCfg.Reservation = reservations[k.ri]
+			runCfg.DefragThreshold = defrags[k.di]
 			jobs = append(jobs, Job{
-				Name: fmt.Sprintf("sched-%s-ckpt%g-mtbf%g-t%d",
-					runCfg.Policy, runCfg.CheckpointH, cfg.MTBFs[k.mi], tr),
+				Name: fmt.Sprintf("sched-%s-ckpt%g-res%v-defrag%g-burst%g-mtbf%g-t%d",
+					runCfg.Policy, runCfg.CheckpointH, runCfg.Reservation,
+					runCfg.DefragThreshold, burstRates[k.bi], cfg.MTBFs[k.mi], tr),
 				Run: func(ctx *Ctx) (any, error) {
 					in := inputs[tr]
 					var fails []sched.FailEvent
 					if mtbf := cfg.MTBFs[k.mi]; mtbf > 0 && in.fp != nil {
 						fails = in.fp.Thin(mtbf)
+					}
+					if rate := burstRates[k.bi]; rate > 0 && in.bp != nil {
+						fails = sched.MergeFailures(fails, in.bp.Thin(rate))
 					}
 					return sched.Run(x, y, in.trace, fails, runCfg)
 				},
@@ -178,10 +251,13 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 	points := make([]SchedPoint, len(keys))
 	for ki, k := range keys {
 		pt := SchedPoint{
-			Policy:      cfg.Policies[k.pi],
-			CheckpointH: cfg.CheckpointsH[k.ci],
-			MTBFh:       cfg.MTBFs[k.mi],
-			Trials:      trials,
+			Policy:          cfg.Policies[k.pi],
+			CheckpointH:     cfg.CheckpointsH[k.ci],
+			Reservation:     reservations[k.ri],
+			BurstRate:       burstRates[k.bi],
+			DefragThreshold: defrags[k.di],
+			MTBFh:           cfg.MTBFs[k.mi],
+			Trials:          trials,
 		}
 		for tr := 0; tr < trials; tr++ {
 			m := results[ki*trials+tr].Value.(*sched.Metrics)
@@ -195,6 +271,11 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 			pt.SlowP99 += m.SlowP99 / n
 			pt.Completed += float64(m.Completed) / n
 			pt.Evictions += float64(m.Evictions) / n
+			pt.Defrags += float64(m.Defrags) / n
+			pt.Migrations += float64(m.Migrations) / n
+			if m.MaxWaitLarge > pt.MaxWaitLarge {
+				pt.MaxWaitLarge = m.MaxWaitLarge
+			}
 			if tr == 0 || m.Goodput < pt.MinGoodput {
 				pt.MinGoodput = m.Goodput
 			}

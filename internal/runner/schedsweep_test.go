@@ -66,13 +66,19 @@ func TestSchedSweepMonotone(t *testing.T) {
 }
 
 // Sweep results are independent of the worker count (the repo-wide runner
-// invariant): a serial pool and a parallel pool produce identical points.
+// invariant): a serial pool and a parallel pool produce identical points,
+// including across the scheduler-v2 reservation × burst × defrag axes.
 func TestSchedSweepWorkerCountInvariant(t *testing.T) {
 	cfg := schedSweepTestConfig()
 	cfg.Trace.Jobs = 60
 	cfg.MTBFs = []float64{0, 30}
 	cfg.Trials = 2
 	cfg.Policies = []sched.Policy{sched.FragAware}
+	cfg.Reservations = []bool{false, true}
+	cfg.BurstRates = []float64{0, 0.05}
+	cfg.Burst = sched.BurstShape{W: 2, H: 1}
+	cfg.DefragThresholds = []float64{0, 0.35}
+	cfg.Base.DefragCostH = 0.1
 
 	serialPool := NewSeeded(1, 1)
 	c, err := serialPool.Cluster("hx2mesh", "tiny")
@@ -82,6 +88,10 @@ func TestSchedSweepWorkerCountInvariant(t *testing.T) {
 	serial, err := serialPool.SchedSweep(c, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	wantPoints := 1 * 1 * 2 * 2 * 2 * 2 // policy x ckpt x res x defrag x burst x mtbf
+	if len(serial) != wantPoints {
+		t.Fatalf("got %d points, want %d", len(serial), wantPoints)
 	}
 	parallelPool := NewSeeded(8, 999) // different base seed: must not matter
 	c2, err := parallelPool.Cluster("hx2mesh", "tiny")
@@ -94,5 +104,71 @@ func TestSchedSweepWorkerCountInvariant(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("sweep depends on pool shape:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// The new axes behave across a sweep: bursts only degrade goodput within a
+// (policy, checkpoint, reservation, defrag) group at fixed MTBF (nested
+// burst sets), and zero-valued axes reproduce the pre-v2 sweep points
+// exactly.
+func TestSchedSweepBurstAxisMonotoneAndInert(t *testing.T) {
+	pool := NewSeeded(8, 1)
+	c, err := pool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := schedSweepTestConfig()
+	base.MTBFs = []float64{0}
+	base.Policies = []sched.Policy{sched.BestFit}
+	base.Trials = 4
+
+	// Pre-v2 shape: no new axes set.
+	old, err := pool.SchedSweep(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.BurstRates = []float64{0, 0.02, 0.1}
+	cfg.Burst = sched.BurstShape{W: 3, H: 1}
+	pts, err := pool.SchedSweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	// The zero-burst point must match the pre-v2 sweep bit for bit.
+	if !reflect.DeepEqual(old[0], pts[0]) {
+		t.Fatalf("zero-burst point differs from pre-v2 sweep:\nold %+v\nnew %+v", old[0], pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BurstRate <= pts[i-1].BurstRate {
+			t.Fatalf("burst axis out of order at %d", i)
+		}
+		if pts[i].Goodput > pts[i-1].Goodput+1e-12 {
+			t.Fatalf("goodput increased with burst rate: %.6f @%g -> %.6f @%g",
+				pts[i-1].Goodput, pts[i-1].BurstRate, pts[i].Goodput, pts[i].BurstRate)
+		}
+		if pts[i].Evictions < pts[i-1].Evictions {
+			t.Fatalf("evictions decreased with burst rate")
+		}
+	}
+
+	// Reservations bound the large-job wait on the same trace.
+	cfg = base
+	cfg.Trace.Jobs = 120
+	cfg.Trace.ArrivalRate = 6
+	cfg.Reservations = []bool{false, true}
+	pts, err = pool.SchedSweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Reservation || !pts[1].Reservation {
+		t.Fatalf("reservation axis malformed: %+v", pts)
+	}
+	if pts[1].MaxWaitLarge >= pts[0].MaxWaitLarge {
+		t.Fatalf("reservation max large-job wait %.2fh not below greedy %.2fh",
+			pts[1].MaxWaitLarge, pts[0].MaxWaitLarge)
 	}
 }

@@ -1,0 +1,144 @@
+package sched
+
+// BurstShape is the board-region footprint of one correlated failure burst:
+// a W×H block of boards anchored at a seeded position. {4, 1} models a rack
+// segment (four boards on one power feed), {X, 1} a whole row outage. The
+// region is clipped at the grid edges — racks are physical, outages do not
+// wrap — so bursts anchored near a boundary kill fewer boards.
+type BurstShape struct{ W, H int }
+
+// DefaultBurstShape is the 4×1 rack-segment burst.
+func DefaultBurstShape() BurstShape { return BurstShape{W: 4, H: 1} }
+
+func (s BurstShape) norm() BurstShape {
+	if s.W < 1 {
+		s.W = 4
+	}
+	if s.H < 1 {
+		s.H = 1
+	}
+	return s
+}
+
+// burstEvent is one sampled burst at the maximum rate, carrying its
+// thinning mark (see Failures: kept at rate r when u ≤ r/maxRate, which
+// makes the kept sets nested across rates under one seed).
+type burstEvent struct {
+	t      float64
+	anchor [2]int
+	u      float64
+}
+
+// Bursts is a pre-sampled correlated-outage process: Poisson burst events
+// at a maximum rate, each killing a contiguous board region. Like Failures,
+// the process is sampled once at the highest rate a sweep will use and
+// Thin extracts the (nested) subset for any milder rate — under one seed a
+// higher burst rate replays every burst of a lower one and adds more, so
+// goodput-vs-burst-rate curves measure degradation, not sampling noise.
+type Bursts struct {
+	events  []burstEvent
+	maxRate float64
+	x, y    int
+	shape   BurstShape
+}
+
+// NewBursts samples the burst process over [0, horizon) hours at maxRate
+// bursts/hour — the highest rate the caller will thin to. Burst times are a
+// Poisson process, anchors cycle through a seeded permutation of the board
+// grid (decorrelated from the independent-failure identities), and each
+// burst carries a thinning mark. A non-positive rate, horizon or grid
+// yields an empty process.
+func NewBursts(x, y int, shape BurstShape, horizonH, maxRate float64, seed int64) *Bursts {
+	b := &Bursts{x: x, y: y, shape: shape.norm()}
+	if x < 1 || y < 1 || maxRate <= 0 || horizonH <= 0 {
+		return b
+	}
+	b.maxRate = maxRate
+	anchors := gridBoardSequence(x, y, int64(splitmix64(uint64(seed)^0xb52575)))
+	r := schedRNG(seed, 0xb5257)
+	t := 0.0
+	for i := 0; ; i++ {
+		t += r.exp() / maxRate
+		if t >= horizonH {
+			break
+		}
+		b.events = append(b.events, burstEvent{t: t, anchor: anchors[i%len(anchors)], u: r.float64()})
+	}
+	return b
+}
+
+// Sampled returns the number of bursts sampled at the maximum rate.
+func (b *Bursts) Sampled() int { return len(b.events) }
+
+// Thin returns the board-failure events of the bursts active at rate
+// bursts/hour (≤ the sampling maxRate), ascending by time: each kept burst
+// expands to one FailEvent per board of its clipped region, in row-major
+// region order. Under one seed the kept burst sets are nested across rates
+// (a higher rate keeps a superset), so the expanded event list at a lower
+// rate is a subsequence of the higher-rate list. A non-positive rate means
+// no bursts.
+func (b *Bursts) Thin(rate float64) []FailEvent {
+	if rate <= 0 || b.maxRate <= 0 {
+		return nil
+	}
+	keep := rate / b.maxRate
+	if keep > 1 {
+		keep = 1 // caller thinned below the sampling rate; keep everything
+	}
+	var out []FailEvent
+	for _, e := range b.events {
+		if e.u > keep {
+			continue
+		}
+		for _, bd := range regionBoards(b.x, b.y, e.anchor, b.shape.W, b.shape.H) {
+			out = append(out, FailEvent{Time: e.t, Board: bd})
+		}
+	}
+	return out
+}
+
+// regionBoards lists the boards of a w×h region anchored at a on an x×y
+// grid, clipped at the edges, in row-major order. It mirrors the
+// network-level faults.Builder.FailBoardRegion clipping convention (the
+// two are pinned equal by TestRegionBoardsMatchesFaultsBuilder), so a
+// scheduler burst and a FaultSet rack outage kill the same board sets.
+func regionBoards(x, y int, a [2]int, w, h int) [][2]int {
+	out := make([][2]int, 0, w*h)
+	for dy := 0; dy < h; dy++ {
+		for dx := 0; dx < w; dx++ {
+			bx, by := a[0]+dx, a[1]+dy
+			if bx < 0 || by < 0 || bx >= x || by >= y {
+				continue
+			}
+			out = append(out, [2]int{bx, by})
+		}
+	}
+	return out
+}
+
+// MergeFailures merges two time-sorted failure event lists into one sorted
+// list. The merge is stable and a-first at equal times, so merging an
+// independent process with an (empty) burst process reproduces the
+// independent list exactly — the bit-identical-golden guarantee for
+// zero-burst configs.
+func MergeFailures(a, b []FailEvent) []FailEvent {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]FailEvent, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Time < a[i].Time {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

@@ -1,0 +1,100 @@
+package sched
+
+import "testing"
+
+// adversarialTrace starves a large job under greedy backfill: four small
+// jobs fill the 4x4 grid at t=0, the 16-board job arrives just behind
+// them, and a steady stream of small jobs keeps part of the grid busy for
+// hours — greedy places every small job the moment boards free, so all 16
+// boards are never simultaneously free until the stream ends.
+func adversarialTrace() []TraceJob {
+	var jobs []TraceJob
+	id := int32(0)
+	add := func(arrival float64, boards int, service float64) {
+		jobs = append(jobs, TraceJob{ID: id, Arrival: arrival, Boards: boards, Service: service})
+		id++
+	}
+	for i := 0; i < 4; i++ {
+		add(0, 4, 3)
+	}
+	add(0.5, 16, 4) // the large job
+	for i := 0; i < 20; i++ {
+		add(1+0.7*float64(i), 4, 3)
+	}
+	return jobs
+}
+
+// The reservation-backfill conformance pin: on the adversarial trace, EASY
+// reservations bound the large job's wait strictly below greedy backfill.
+// Under greedy the large job cannot start until the small-job stream dries
+// up; with a reservation it starts the moment the four initial jobs
+// complete (t=3, a 2.5h wait), because waiting smalls would outlive the
+// reservation and overlap its boards.
+func TestReservationBoundsLargeJobWait(t *testing.T) {
+	trace := adversarialTrace()
+	base := Config{Policy: FirstFit, HorizonH: 60}
+
+	greedy, err := Run(4, 4, trace, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := base
+	res.Reservation = true
+	easy, err := Run(4, 4, trace, nil, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if greedy.MaxWaitLarge <= 10 {
+		t.Fatalf("adversarial trace is not adversarial: greedy large-job wait %.2fh, want > 10h", greedy.MaxWaitLarge)
+	}
+	if easy.MaxWaitLarge >= greedy.MaxWaitLarge {
+		t.Fatalf("reservation did not bound large-job wait: %.2fh (reservation) vs %.2fh (greedy)",
+			easy.MaxWaitLarge, greedy.MaxWaitLarge)
+	}
+	// Pinned: the large job starts when the four t=0 jobs complete at t=3.
+	if easy.MaxWaitLarge != 2.5 {
+		t.Fatalf("reservation large-job wait %.4fh, want exactly 2.5h", easy.MaxWaitLarge)
+	}
+	if easy.Reservations == 0 {
+		t.Fatal("reservation run created no reservations")
+	}
+	// Both runs still finish the whole trace within the horizon.
+	if greedy.Completed != len(trace) || easy.Completed != len(trace) {
+		t.Fatalf("completed %d (greedy) / %d (reservation), want %d both",
+			greedy.Completed, easy.Completed, len(trace))
+	}
+	// Reservations trade a little utilization for the wait bound; they must
+	// not collapse it.
+	if easy.Utilization < 0.5*greedy.Utilization {
+		t.Fatalf("reservation utilization collapsed: %.3f vs greedy %.3f", easy.Utilization, greedy.Utilization)
+	}
+}
+
+// With reservations enabled on a trace that never blocks, nothing changes:
+// no reservations are created and the metrics match greedy exactly.
+func TestReservationInertWhenNeverBlocked(t *testing.T) {
+	trace := Synthetic(TraceConfig{Jobs: 40, ArrivalRate: 0.5, MeanService: 1, MaxBoards: 8}, 3)
+	base := Config{Policy: BestFit, HorizonH: 200, RecordDecisions: true}
+	a, err := Run(8, 8, trace, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := base
+	res.Reservation = true
+	b, err := Run(8, 8, trace, nil, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reservations != 0 {
+		t.Fatalf("unblocked trace created %d reservations", b.Reservations)
+	}
+	if len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(a.Decisions), len(b.Decisions))
+	}
+	for i := range a.Decisions {
+		if a.Decisions[i] != b.Decisions[i] {
+			t.Fatalf("decision %d differs:\n greedy      %q\n reservation %q", i, a.Decisions[i], b.Decisions[i])
+		}
+	}
+}

@@ -59,9 +59,40 @@ type Config struct {
 	HorizonH float64
 	// Slowdown scales job runtimes by placement quality (nil means none).
 	Slowdown SlowdownModel
+	// Reservation enables EASY-style backfill: when the head of the queue
+	// cannot be placed, it gets a reservation — a projected start time and
+	// board set computed by replaying the running jobs' completion times on
+	// a shadow grid — and jobs behind it backfill only if they finish
+	// before the reservation starts or avoid its boards entirely. This
+	// bounds large-job wait, which greedy backfill (the default) leaves
+	// unbounded under a steady stream of small jobs.
+	Reservation bool
+	// LargeBoards is the board count at or above which a job counts as
+	// "large" for Metrics.MaxWaitLarge. Zero means half the grid.
+	LargeBoards int
+	// DefragThreshold triggers a checkpoint-migrate defragmentation pass
+	// when the grid's fragmentation (alloc.Grid.Fragmentation) exceeds it
+	// while jobs wait: every running job is checkpointed and evicted, the
+	// queue is repacked largest-first through the policy's placement
+	// search, and each migrated job pays DefragCostH as lost work. Zero
+	// disables defragmentation.
+	DefragThreshold float64
+	// DefragCostH is the checkpoint-transfer overhead each migrated job
+	// pays, in wall-clock hours: its restart is delayed by this much and
+	// the time is accounted as lost board-hours.
+	DefragCostH float64
+	// DefragMinGapH is the minimum time between defragmentation passes
+	// (zero means 1h), bounding migration churn when a repack cannot
+	// reduce fragmentation.
+	DefragMinGapH float64
 	// RecordDecisions keeps the full decision log in the metrics (golden
 	// tests and debugging; sweeps leave it off).
 	RecordDecisions bool
+
+	// observer, when set (in-package tests only), is called after every
+	// processed event with the live simulation state — the hook behind the
+	// cluster-wide invariant harness.
+	observer func(s *sim, ev event)
 }
 
 // Metrics aggregates one scheduler run.
@@ -101,6 +132,20 @@ type Metrics struct {
 	Backlog int
 	// Failures and Repairs count board state transitions applied.
 	Failures, Repairs int
+	// MaxWaitLarge is the longest queue wait suffered by any "large" job
+	// (boards ≥ Config.LargeBoards), in hours, counting time still queued
+	// at the horizon — the quantity reservation backfill bounds.
+	MaxWaitLarge float64
+	// Reservations counts reservations created for blocked head-of-queue
+	// jobs; Backfills counts placements admitted behind an active
+	// reservation (they finished before it or avoided its boards).
+	Reservations, Backfills int
+	// Defrags counts defragmentation passes; Migrations counts the job
+	// checkpoint-migrations they performed.
+	Defrags, Migrations int
+	// MigratedBoardH is the migration overhead charged as lost work, in
+	// board-hours (included in LostBoardH).
+	MigratedBoardH float64
 	// Decisions is the chronological decision log (only when
 	// Config.RecordDecisions is set).
 	Decisions []string
@@ -159,6 +204,14 @@ func (q *eventHeap) push(e event) {
 	}
 }
 
+// peek returns the next event without popping it (ok=false when empty).
+func (q *eventHeap) peek() (event, bool) {
+	if len(q.h) == 0 {
+		return event{}, false
+	}
+	return q.h[0], true
+}
+
 func (q *eventHeap) pop() event {
 	top := q.h[0]
 	last := len(q.h) - 1
@@ -200,6 +253,15 @@ type jobState struct {
 	finished  bool
 	rejected  bool
 	finishT   float64
+	// completeT is the scheduled completion time of the current placement
+	// (valid while running) — the release time reservation projections
+	// replay on the shadow grid.
+	completeT float64
+	// overheadPending is migration overhead (hours) the job's next
+	// placement must pay before useful work resumes; runOverheadH is the
+	// overhead baked into the current placement's schedule, excluded from
+	// checkpoint progress on eviction.
+	overheadPending, runOverheadH float64
 }
 
 // sim is one in-flight run.
@@ -216,6 +278,24 @@ type sim struct {
 	// utilization integrals, updated lazily at every event
 	lastT            float64
 	allocH, workingH float64
+
+	// reservation state (Config.Reservation): the blocked head-of-queue
+	// job holding the reservation, its projected start time, and the
+	// reserved board set. Recomputed from scratch at every scheduling
+	// pass, so it always reflects the current grid and running set.
+	resJob    int32
+	resTime   float64
+	resBoards []bool // X*Y bitset
+
+	largeBoards int     // "large job" threshold for MaxWaitLarge
+	lastDefragT float64 // last defragmentation pass (-Inf before the first)
+
+	// pendingFailSched is set when a board failure deferred its scheduling
+	// pass because more failures land at the same instant (a correlated
+	// burst): rescheduling mid-burst would place evicted jobs onto boards
+	// the same outage is about to kill. The burst's last event runs the
+	// deferred pass.
+	pendingFailSched bool
 }
 
 // Run replays a trace against an x×y board grid under the failure process
@@ -237,7 +317,15 @@ func Run(x, y int, trace []TraceJob, failures []FailEvent, cfg Config) (*Metrics
 	if cfg.Slowdown == nil {
 		cfg.Slowdown = NoSlowdown{}
 	}
-	s := &sim{cfg: cfg, grid: alloc.NewGrid(x, y), opts: policyOptions(cfg.Policy)}
+	s := &sim{cfg: cfg, grid: alloc.NewGrid(x, y), opts: policyOptions(cfg.Policy),
+		resJob: -1, lastDefragT: math.Inf(-1)}
+	s.largeBoards = cfg.LargeBoards
+	if s.largeBoards <= 0 {
+		s.largeBoards = x * y / 2
+		if s.largeBoards < 1 {
+			s.largeBoards = 1
+		}
+	}
 	s.jobs = make([]jobState, len(trace))
 	for i, tj := range trace {
 		u, v := shapeForTrace(tj)
@@ -267,6 +355,10 @@ func Run(x, y int, trace []TraceJob, failures []FailEvent, cfg Config) (*Metrics
 			s.onFail(ev)
 		case evRepair:
 			s.onRepair(ev)
+		}
+		s.maybeDefrag(ev.t)
+		if cfg.observer != nil {
+			cfg.observer(s, ev)
 		}
 	}
 	s.integrateTo(cfg.HorizonH)
@@ -340,80 +432,208 @@ func (s *sim) enqueue(idx int32, t float64, front bool) {
 	}
 }
 
-// trySchedule scans the queue in order and places every job that fits
-// (greedy backfill: a blocked large job does not stall smaller ones behind
-// it — the utilization-friendly default, at the price of possible
-// large-job delay).
+// trySchedule scans the queue in order and places every job that fits.
+// Without Config.Reservation this is greedy backfill: a blocked large job
+// does not stall smaller ones behind it — utilization-friendly, at the
+// price of unbounded large-job delay. With Reservation the first blocked
+// job gets a reservation (projected start time and board set from a
+// shadow replay of the running jobs' completions) and jobs behind it are
+// admitted only if they finish before the reservation starts or avoid its
+// boards entirely — EASY backfill, bounding head-of-queue wait.
 func (s *sim) trySchedule(t float64) {
+	s.resJob = -1 // reservations are recomputed fresh every pass
+	reserveTried := false
 	kept := s.queue[:0]
 	for _, idx := range s.queue {
 		j := &s.jobs[idx]
-		p := s.place(idx, j)
+		if s.resJob >= 0 {
+			// A reservation is active: jobs behind the blocked head may
+			// only backfill.
+			if !s.tryBackfill(idx, j, t) {
+				kept = append(kept, idx)
+			}
+			continue
+		}
+		p := s.findPlacement(s.grid, idx, j)
 		if p == nil {
+			if s.cfg.Reservation && !reserveTried {
+				// Only the first blocked job reserves (EASY); if no
+				// projection fits (e.g. the degraded grid can never hold
+				// it), fall back to greedy for the rest of the queue.
+				reserveTried = true
+				s.reserve(t, idx, j)
+			}
 			kept = append(kept, idx)
 			continue
 		}
-		j.queued = false
-		j.running = true
-		j.p = p
-		j.startT = t
-		j.wait += t - j.queuedAt
-		j.slowdown = s.cfg.Slowdown.Slowdown(p, j.tj)
-		if j.slowdown < 1 {
-			j.slowdown = 1
-		}
-		s.events.push(event{t: t + j.remaining*j.slowdown, kind: evComplete, idx: idx, epoch: j.epoch})
-		s.logf("t=%.4f place job=%d shape=%dx%d rows=%v cols=%v slow=%.4f remaining=%.4f",
-			t, j.tj.ID, p.U(), p.V(), p.Rows, p.Cols, j.slowdown, j.remaining)
+		s.start(idx, j, p, t)
 	}
 	s.queue = append([]int32(nil), kept...)
 }
 
-// place runs the policy's placement search for one job, committing and
-// returning the winner (nil when nothing fits).
-func (s *sim) place(idx int32, j *jobState) *alloc.Placement {
-	if s.cfg.Policy != FragAware {
-		p, ok := s.grid.Allocate(idx, j.u, j.v, s.opts)
-		if !ok {
-			return nil
-		}
-		return p
-	}
-	// Fragmentation-aware: among the candidate shapes, commit the one that
-	// strands the fewest free boards in its rows (best-fit by row
-	// occupancy), breaking ties toward locality.
-	cands := s.grid.PlaceCandidates(idx, j.u, j.v, s.opts)
-	if len(cands) == 0 {
-		return nil
-	}
-	best, bestFrag, bestLoc := cands[0], s.fragScore(cands[0]), alloc.UpperLayerFraction(cands[0], alloc.TrafficAlltoall, 16)
-	for _, p := range cands[1:] {
-		frag := s.fragScore(p)
-		loc := alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, 16)
-		if frag < bestFrag || (frag == bestFrag && loc < bestLoc) {
-			best, bestFrag, bestLoc = p, frag, loc
-		}
-	}
-	if err := s.grid.Commit(best); err != nil {
+// start commits a candidate placement and schedules the job's completion.
+func (s *sim) start(idx int32, j *jobState, p *alloc.Placement, t float64) {
+	if err := s.grid.Commit(p); err != nil {
 		// Candidates were enumerated against the current grid; a failed
 		// commit means a bookkeeping bug, not a runtime condition.
 		panic(err)
 	}
-	return best
+	j.queued = false
+	j.running = true
+	j.p = p
+	j.startT = t
+	j.wait += t - j.queuedAt
+	j.slowdown = s.cfg.Slowdown.Slowdown(p, j.tj)
+	if j.slowdown < 1 {
+		j.slowdown = 1
+	}
+	j.runOverheadH = j.overheadPending
+	j.overheadPending = 0
+	j.completeT = t + j.runOverheadH + j.remaining*j.slowdown
+	s.events.push(event{t: j.completeT, kind: evComplete, idx: idx, epoch: j.epoch})
+	s.logf("t=%.4f place job=%d shape=%dx%d rows=%v cols=%v slow=%.4f remaining=%.4f",
+		t, j.tj.ID, p.U(), p.V(), p.Rows, p.Cols, j.slowdown, j.remaining)
+}
+
+// findPlacement runs the policy's placement search for one job on g and
+// returns the uncommitted winner (nil when nothing fits). Separating the
+// search from the commit lets reservation projections run the identical
+// search on shadow grids and lets backfill veto a placement before it
+// lands.
+func (s *sim) findPlacement(g *alloc.Grid, idx int32, j *jobState) *alloc.Placement {
+	cands := g.PlaceCandidates(idx, j.u, j.v, s.opts)
+	if len(cands) == 0 {
+		return nil
+	}
+	switch s.cfg.Policy {
+	case BestFit:
+		// Most contiguous wins: lowest upper-layer alltoall traffic
+		// fraction (the Fig. 9 locality metric).
+		group := s.opts.TreeGroupBoards
+		best, bestScore := cands[0], alloc.UpperLayerFraction(cands[0], alloc.TrafficAlltoall, group)
+		for _, p := range cands[1:] {
+			if score := alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, group); score < bestScore {
+				best, bestScore = p, score
+			}
+		}
+		return best
+	case FragAware:
+		// Fragmentation-aware: the candidate that strands the fewest free
+		// boards in its rows (best-fit by row occupancy), ties broken
+		// toward locality.
+		group := s.opts.TreeGroupBoards
+		best, bestFrag, bestLoc := cands[0], fragScore(g, cands[0]), alloc.UpperLayerFraction(cands[0], alloc.TrafficAlltoall, group)
+		for _, p := range cands[1:] {
+			frag := fragScore(g, p)
+			loc := alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, group)
+			if frag < bestFrag || (frag == bestFrag && loc < bestLoc) {
+				best, bestFrag, bestLoc = p, frag, loc
+			}
+		}
+		return best
+	}
+	return cands[0] // FirstFit: first feasible shape
 }
 
 // fragScore counts the free boards that would remain in the placement's
 // rows after committing it — the capacity the placement strands.
-func (s *sim) fragScore(p *alloc.Placement) int {
+func fragScore(g *alloc.Grid, p *alloc.Placement) int {
 	free := 0
 	for _, r := range p.Rows {
-		for c := 0; c < s.grid.X; c++ {
-			if s.grid.Owner(c, r) == alloc.Free {
+		for c := 0; c < g.X; c++ {
+			if g.Owner(c, r) == alloc.Free {
 				free++
 			}
 		}
 	}
 	return free - len(p.Rows)*len(p.Cols)
+}
+
+// reserve projects a start time and board set for a blocked head-of-queue
+// job: the running jobs' scheduled completions are replayed in time order
+// on a shadow grid, and the first release after which the policy's search
+// finds a placement becomes the reservation. Failed boards stay failed in
+// the projection (repairs are not anticipated), so reservations are
+// conservative on degraded grids.
+func (s *sim) reserve(now float64, idx int32, j *jobState) {
+	type release struct {
+		t   float64
+		idx int32
+	}
+	var rels []release
+	for i := range s.jobs {
+		if s.jobs[i].running {
+			rels = append(rels, release{s.jobs[i].completeT, int32(i)})
+		}
+	}
+	if len(rels) == 0 {
+		return // nothing will free up; no projection exists
+	}
+	sort.Slice(rels, func(a, b int) bool {
+		if rels[a].t != rels[b].t {
+			return rels[a].t < rels[b].t
+		}
+		return rels[a].idx < rels[b].idx
+	})
+	shadow := s.grid.Clone()
+	for _, r := range rels {
+		shadow.Release(r.idx)
+		p := s.findPlacement(shadow, idx, j)
+		if p == nil {
+			continue
+		}
+		s.resJob = idx
+		s.resTime = r.t
+		if s.resBoards == nil {
+			s.resBoards = make([]bool, s.grid.X*s.grid.Y)
+		} else {
+			for i := range s.resBoards {
+				s.resBoards[i] = false
+			}
+		}
+		for _, row := range p.Rows {
+			for _, col := range p.Cols {
+				s.resBoards[row*s.grid.X+col] = true
+			}
+		}
+		s.met.Reservations++
+		s.logf("t=%.4f reserve job=%d at=%.4f rows=%v cols=%v", now, j.tj.ID, r.t, p.Rows, p.Cols)
+		return
+	}
+}
+
+// tryBackfill places a job behind an active reservation if doing so cannot
+// delay it: the job either finishes (including pending migration overhead)
+// before the reservation starts, or its boards are disjoint from the
+// reserved set.
+func (s *sim) tryBackfill(idx int32, j *jobState, t float64) bool {
+	p := s.findPlacement(s.grid, idx, j)
+	if p == nil {
+		return false
+	}
+	slow := s.cfg.Slowdown.Slowdown(p, j.tj)
+	if slow < 1 {
+		slow = 1
+	}
+	finish := t + j.overheadPending + j.remaining*slow
+	if finish > s.resTime+1e-9 && s.overlapsReservation(p) {
+		return false
+	}
+	s.met.Backfills++
+	s.start(idx, j, p, t)
+	return true
+}
+
+// overlapsReservation reports whether any board of p is reserved.
+func (s *sim) overlapsReservation(p *alloc.Placement) bool {
+	for _, row := range p.Rows {
+		for _, col := range p.Cols {
+			if s.resBoards[row*s.grid.X+col] {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (s *sim) onComplete(ev event) {
@@ -440,8 +660,12 @@ func (s *sim) onFail(ev event) {
 	bx, by := ev.board[0], ev.board[1]
 	if s.grid.Owner(bx, by) == alloc.Failed {
 		// A failure striking an already-failed board changes nothing; the
-		// pending repair (if any) still applies.
+		// pending repair (if any) still applies. A pass deferred by an
+		// earlier same-instant failure still runs once the burst ends.
 		s.logf("t=%.4f fail board=(%d,%d) already-down", ev.t, bx, by)
+		if s.pendingFailSched {
+			s.rescheduleAfterFail(ev.t)
+		}
 		return
 	}
 	s.met.Failures++
@@ -451,20 +675,44 @@ func (s *sim) onFail(ev event) {
 	}
 	if victim < 0 {
 		s.logf("t=%.4f fail board=(%d,%d)", ev.t, bx, by)
-		s.trySchedule(ev.t) // capacity shrank but the queue may reshuffle shapes
+		s.rescheduleAfterFail(ev.t) // capacity shrank but the queue may reshuffle shapes
 		return
 	}
 	j := &s.jobs[victim]
 	lost := s.evict(victim, j, ev.t)
 	s.logf("t=%.4f fail board=(%d,%d) evict=%d lost=%.4fh", ev.t, bx, by, j.tj.ID, lost)
 	s.enqueue(victim, ev.t, true)
-	s.trySchedule(ev.t)
+	s.rescheduleAfterFail(ev.t)
 }
 
-// evict rolls a running job back to its last checkpoint, accounting the
-// work past it as lost. Returns the lost ideal-hours.
-func (s *sim) evict(idx int32, j *jobState, t float64) float64 {
-	elapsed := t - j.startT
+// rescheduleAfterFail runs the scheduling pass after a board failure —
+// unless more failures land at this same instant (a correlated burst), in
+// which case the pass defers to the burst's last event: rescheduling
+// mid-burst would place just-evicted jobs onto boards the same outage is
+// about to kill, counting one physical outage as several evictions. The
+// reservation is dropped either way (its projection predates the failure);
+// the deferred pass recomputes it.
+func (s *sim) rescheduleAfterFail(t float64) {
+	if e, ok := s.events.peek(); ok && e.kind == evFail && e.t == t {
+		s.pendingFailSched = true
+		s.resJob = -1
+		return
+	}
+	s.pendingFailSched = false
+	s.trySchedule(t)
+}
+
+// rollback rolls a running job back to its last checkpoint, accounting the
+// work past it as lost, and returns the lost ideal-hours. The caller frees
+// the job's boards (Fail already did for evictions; defrag releases them
+// explicitly) and requeues it.
+func (s *sim) rollback(idx int32, j *jobState, t float64) float64 {
+	// Migration overhead at the start of the run was checkpoint transfer,
+	// not work; exclude it from progress.
+	elapsed := t - j.startT - j.runOverheadH
+	if elapsed < 0 {
+		elapsed = 0
+	}
 	progress := elapsed / j.slowdown // ideal work hours achieved
 	ckpt := progress
 	if s.cfg.CheckpointH > 0 {
@@ -484,11 +732,81 @@ func (s *sim) evict(idx int32, j *jobState, t float64) float64 {
 	j.epoch++
 	j.running = false
 	j.p = nil
-	// The grid already freed the job's boards as part of Fail's eviction.
 	s.usefulH += ckpt * float64(j.tj.Boards)
 	s.met.LostBoardH += lost * float64(j.tj.Boards)
+	return lost
+}
+
+// evict is rollback for a board-failure victim (the grid already freed the
+// job's boards as part of Fail's eviction).
+func (s *sim) evict(idx int32, j *jobState, t float64) float64 {
+	lost := s.rollback(idx, j, t)
 	s.met.Evictions++
 	return lost
+}
+
+// maybeDefrag runs a checkpoint-migrate defragmentation pass when enabled,
+// jobs are waiting, fragmentation crossed the threshold, the pass gap has
+// elapsed, and there is something to migrate. Mid-burst events (a deferred
+// failure pass is pending) never defrag: migrating onto boards the same
+// outage is about to kill would churn placements.
+func (s *sim) maybeDefrag(t float64) {
+	if s.cfg.DefragThreshold <= 0 || len(s.queue) == 0 || s.pendingFailSched {
+		return
+	}
+	gap := s.cfg.DefragMinGapH
+	if gap <= 0 {
+		gap = 1
+	}
+	if t < s.lastDefragT+gap {
+		return
+	}
+	frag := s.grid.Fragmentation()
+	if frag <= s.cfg.DefragThreshold {
+		return
+	}
+	var running []int32
+	for i := range s.jobs {
+		if s.jobs[i].running {
+			running = append(running, int32(i))
+		}
+	}
+	if len(running) == 0 {
+		return
+	}
+	s.defrag(t, frag, running)
+}
+
+// defrag checkpoints and evicts every running job, requeues them
+// largest-first ahead of the waiting queue, and repacks through the
+// policy's placement search. Each migrated job pays DefragCostH of
+// checkpoint-transfer overhead, accounted as lost work and added to its
+// restart schedule, on top of the usual rollback to its last checkpoint.
+func (s *sim) defrag(t, frag float64, running []int32) {
+	s.lastDefragT = t
+	s.met.Defrags++
+	sort.Slice(running, func(a, b int) bool {
+		ja, jb := &s.jobs[running[a]], &s.jobs[running[b]]
+		if ja.tj.Boards != jb.tj.Boards {
+			return ja.tj.Boards > jb.tj.Boards
+		}
+		return running[a] < running[b]
+	})
+	for _, idx := range running {
+		j := &s.jobs[idx]
+		s.rollback(idx, j, t)
+		s.grid.Release(idx)
+		j.overheadPending = s.cfg.DefragCostH
+		j.queued = true
+		j.queuedAt = t
+		s.met.Migrations++
+		cost := s.cfg.DefragCostH * float64(j.tj.Boards)
+		s.met.MigratedBoardH += cost
+		s.met.LostBoardH += cost
+	}
+	s.queue = append(running, s.queue...)
+	s.logf("t=%.4f defrag frag=%.4f migrated=%d", t, frag, len(running))
+	s.trySchedule(t)
 }
 
 func (s *sim) onRepair(ev event) {
@@ -512,7 +830,10 @@ func (s *sim) finish() {
 			continue
 		}
 		s.met.Backlog++
-		elapsed := h - j.startT
+		elapsed := h - j.startT - j.runOverheadH
+		if elapsed < 0 {
+			elapsed = 0
+		}
 		ckpt := elapsed / j.slowdown
 		if s.cfg.CheckpointH > 0 {
 			ckpt = math.Floor(elapsed/s.cfg.CheckpointH) * s.cfg.CheckpointH / j.slowdown
@@ -545,6 +866,22 @@ func (s *sim) finish() {
 	}
 	s.met.WaitP50, s.met.WaitP99 = percentiles(waits)
 	s.met.SlowP50, s.met.SlowP99 = percentiles(slows)
+	// The large-job wait bound: completed large jobs contribute their full
+	// accumulated wait, still-queued ones the wait they are suffering at
+	// the horizon.
+	for i := range s.jobs {
+		j := &s.jobs[i]
+		if j.tj.Boards < s.largeBoards {
+			continue
+		}
+		w := j.wait
+		if j.queued {
+			w += h - j.queuedAt
+		}
+		if w > s.met.MaxWaitLarge {
+			s.met.MaxWaitLarge = w
+		}
+	}
 }
 
 func percentiles(vals []float64) (p50, p99 float64) {
