@@ -628,6 +628,78 @@ func BenchmarkPacketSim(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkPacketSimQueue pits the two event-queue implementations
+// against each other on the serial engine (identical results by the
+// calendar-vs-heap property test; this measures the speed difference).
+func BenchmarkPacketSimQueue(b *testing.B) {
+	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+	rng := rand.New(rand.NewSource(9))
+	flows := netsim.PermutationFlows(h.Endpoints, 512<<10, rng)
+	for _, q := range []struct {
+		name string
+		kind netsim.QueueKind
+	}{{"calendar", netsim.QueueCalendar}, {"heap", netsim.QueueHeap}} {
+		b.Run(q.name, func(b *testing.B) {
+			cfg := netsim.DefaultConfig()
+			cfg.Queue = q.kind
+			sim := netsim.NewNet(h.Network, nil, cfg)
+			if _, err := sim.Run(flows); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkPacketSimShards measures the sharded conservative-parallel
+// engine on the 16,384-endpoint Hx2Mesh (the paper's headline scale) —
+// the configuration the shard counts are meant for. Results are
+// bit-identical across the sub-benchmarks; only events/sec moves. In
+// -short mode (CI) a 2x2x16x16 mesh keeps the wall time down.
+func BenchmarkPacketSimShards(b *testing.B) {
+	w := 64
+	if testing.Short() {
+		w = 16
+	}
+	h := topo.NewHxMesh(2, 2, w, w, topo.DefaultLinkParams())
+	comp := simcore.Of(h.Network)
+	table := routing.NewTable(comp)
+	flows := netsim.ShiftFlows(h.Endpoints, len(h.Endpoints)/4+1, 32<<10)
+	for _, shards := range []int{1, 2, 4, 8} {
+		// No dash before the count: bench.sh's JSON normalizer strips a
+		// trailing -N (the GOMAXPROCS suffix) from benchmark names.
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			cfg := netsim.DefaultConfig()
+			cfg.Shards = shards
+			sim := netsim.New(comp, table, cfg)
+			if _, err := sim.Run(flows); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(flows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/op")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // benchWorkers returns the worker count for runner-based sweeps. It honors
 // go test's standard -parallel flag (go test -bench ... -parallel N), so
 // the runner's scaling can be measured directly:

@@ -38,6 +38,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 
 	"hammingmesh/internal/core"
 	"hammingmesh/internal/netsim"
@@ -54,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	credit := flag.Bool("credit", false, "use credit-based flow control instead of ideal buffers")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for experiment sweeps")
+	simShards := flag.String("sim-shards", "1", "shards of the parallel packet engine per simulation (results are shard-count invariant; auto = GOMAXPROCS)")
 	failLinks := flag.Float64("fail-links", 0, "fraction of cables to fail (resilience: sweep upper bound, default 0.2)")
 	failBoards := flag.Int("fail-boards", 0, "number of whole boards to fail (HxMesh families)")
 	failSeed := flag.Int64("fail-seed", 1, "seed of the fault samplers")
@@ -73,6 +75,14 @@ func main() {
 	cfg.Seed = *seed
 	if *credit {
 		cfg.Mode = netsim.CreditFC
+	}
+	if *simShards == "auto" {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	} else if n, err := strconv.Atoi(*simShards); err == nil && n >= 1 {
+		cfg.Shards = n
+	} else {
+		fmt.Fprintf(os.Stderr, "invalid -sim-shards %q (want a positive integer or auto)\n", *simShards)
+		os.Exit(2)
 	}
 
 	if *pattern == "resilience" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"hammingmesh/internal/cmdtest"
@@ -29,4 +30,34 @@ func TestHxsimSmoke(t *testing.T) {
 
 	// Bad flags exit non-zero.
 	cmdtest.RunExpectError(t, bin, "-topo", "nosuchtopo")
+	cmdtest.RunExpectError(t, bin, "-sim-shards", "zero")
+}
+
+// Smoke: the sharded packet engine is wired through -sim-shards and its
+// shard-count invariance holds at the CLI level — the packet-level line
+// is byte-identical for 1 and 2 shards, and "auto" is accepted.
+func TestHxsimSimShards(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	packetLine := func(out string) string {
+		for _, ln := range strings.Split(out, "\n") {
+			if strings.Contains(ln, "alltoall global bandwidth share (packet-level") {
+				return ln
+			}
+		}
+		t.Fatalf("no packet-level line in output:\n%s", out)
+		return ""
+	}
+
+	args := []string{"-topo", "hx2mesh", "-size", "tiny",
+		"-pattern", "alltoall", "-shifts", "2", "-bytes", "32768"}
+	want := packetLine(cmdtest.Run(t, bin, append(args, "-sim-shards", "1")...))
+	got := packetLine(cmdtest.Run(t, bin, append(args, "-sim-shards", "2")...))
+	if got != want {
+		t.Errorf("packet-level share differs across shard counts:\n1 shard:  %s\n2 shards: %s", want, got)
+	}
+	auto := packetLine(cmdtest.Run(t, bin, append(args, "-sim-shards", "auto")...))
+	if auto != want {
+		t.Errorf("auto shards differs from 1 shard:\nauto:    %s\n1 shard: %s", auto, want)
+	}
 }

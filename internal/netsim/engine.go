@@ -18,10 +18,36 @@
 // §IV-C3; endpoint NICs are treated as amply buffered). Routing is
 // minimal adaptive: among the shortest-path candidate output ports the
 // node picks the least-queued one (selectable for ablation studies).
+//
+// # Parallel engine
+//
+// Config.Shards > 1 runs the conservative-parallel engine (parallel.go):
+// the compiled nodes are split into contiguous, port-weight-balanced
+// ranges (simcore.PartitionNodes) — so each shard owns a contiguous CSR
+// port range and all of its mutable channel state — and shards advance
+// in lookahead windows of min(link latency) + switch latency,
+// exchanging cross-shard packets through per-pair mailboxes drained at
+// window barriers. Flow accounting (deliveries, completion times,
+// source-window injection) runs as a separate single-threaded flow
+// phase at each window boundary, which resolves the zero-delay
+// delivery→injection feedback exactly.
+//
+// The determinism contract: events execute in a canonical total order
+// (time, then kind/node/channel, then injection sequence — see
+// eventBefore), so
+// Result is bit-identical for every shard count, including 1 and the
+// serial engine, on any deterministic configuration. Configurations
+// whose semantics are inherently serial — CreditFC (zero-latency credit
+// wakeups), UGAL and RandomCandidate (a single RNG stream consumed in
+// event order) — transparently fall back to the serial engine so the
+// contract is never silently weakened; Config.MaxEvents is enforced as
+// one global budget across shards. The golden and invariance tests pin
+// all of this.
 package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"hammingmesh/internal/routing"
@@ -54,6 +80,19 @@ const (
 	FirstCandidate
 )
 
+// QueueKind selects the event-queue implementation. Both pop events in
+// the same canonical order, so results are bit-identical; the property
+// test in calqueue_test.go pins them pop-for-pop equal.
+type QueueKind uint8
+
+const (
+	// QueueCalendar is the default bucketed calendar queue (calqueue.go):
+	// O(1)-ish push/pop at large event counts.
+	QueueCalendar QueueKind = iota
+	// QueueHeap is the reference typed 4-ary heap (heap.go).
+	QueueHeap
+)
+
 // Config controls a simulation run.
 type Config struct {
 	LP     topo.LinkParams
@@ -63,12 +102,21 @@ type Config struct {
 	// injection control). Zero means 16.
 	Window int
 	Seed   int64
-	// MaxEvents aborts runaway simulations. Zero means 500 million.
+	// MaxEvents aborts runaway simulations. Zero means 500 million. With
+	// Shards > 1 it is a single global budget shared by all shards.
 	MaxEvents int64
 	// UGAL enables non-minimal adaptive routing (see UGALConfig).
 	UGAL UGALConfig
 	// CollectLinkStats records per-channel delivered bytes in the result.
 	CollectLinkStats bool
+	// Queue selects the event-queue implementation (identical results).
+	Queue QueueKind
+	// Shards runs the conservative-parallel engine on that many shards
+	// (see the package doc's parallel-engine section). 0 or 1 means
+	// serial; the Result is bit-identical for every shard count.
+	// Inherently serial configurations (CreditFC, UGAL, RandomCandidate)
+	// fall back to the serial engine.
+	Shards int
 }
 
 // DefaultConfig returns the paper-equivalent configuration.
@@ -148,13 +196,39 @@ type packet struct {
 	ugal  ugalState
 }
 
+// event is one scheduled simulator event. kind, node and ch live packed
+// in ord — the canonical tie-break key (see eventBefore) — rather than
+// as separate fields: the event queue copies events on every sift, so a
+// lean struct matters, and packing at creation makes the hot comparator
+// two integer compares instead of a field-by-field fallthrough.
 type event struct {
-	t    float64
-	kind eventKind
-	node int32 // evArrive: node receiving the packet
-	ch   int32 // evFree: channel index; evArrive: -1 when injected at source
-	pkt  packet
+	t   float64
+	ord uint64
+	// seq is the injection-creation sequence number, the tie-breaker of
+	// last resort in the canonical event order (eventBefore): injections
+	// at one node created at the same instant are otherwise identical
+	// keys. Non-injection events are unique by (t, kind, node, ch) alone
+	// — a channel serializes, so it frees and delivers at strictly
+	// increasing times — and carry seq 0.
+	seq int32
+	pkt packet
 }
+
+// makeEvent packs (kind, node, ch) into the canonical key. node and ch
+// are array indices (< 2^31, with ch == -1 for injections), so the
+// packing is exact and order-preserving.
+func makeEvent(t float64, kind eventKind, node, ch, seq int32, pkt packet) event {
+	return event{
+		t:   t,
+		ord: uint64(kind)<<62 | uint64(uint32(node))<<31 | uint64(uint32(ch+1)),
+		seq: seq,
+		pkt: pkt,
+	}
+}
+
+func (e *event) kind() eventKind { return eventKind(e.ord >> 62) }
+func (e *event) node() int32     { return int32(e.ord >> 31 & 0x7fffffff) }
+func (e *event) ch() int32       { return int32(e.ord&0x7fffffff) - 1 }
 
 // channel holds the mutable state of one link direction; its index is the
 // compiled port id, whose static attributes live in comp.Ports.
@@ -217,10 +291,61 @@ type Sim struct {
 	flowSent  []int64
 	flowRecvd []int64
 
-	events eventQueue
-	rng    *rand.Rand
+	// Exactly one of the two queues is active, per cfg.Queue; horizon is
+	// the largest event-scheduling delay of any port (sizes the calendar
+	// ring and, doubled as headroom, its span).
+	events  eventQueue
+	cal     calendarQueue
+	useHeap bool
+	horizon float64
+
+	// injSeq numbers injected events in creation order (the canonical
+	// tie-breaker of last resort; see event.seq).
+	injSeq int32
+
+	// par is the sharded-parallel engine state, non-nil when cfg.Shards
+	// selects it and the configuration is deterministic (parallel.go).
+	par *parState
+
+	rng *rand.Rand
 
 	res Result
+}
+
+// exec is the event-execution context: the simulator plus the sink
+// newly scheduled events go to — the serial event queue, or the local
+// shard of the parallel engine, which routes deliveries to the
+// flow-domain queue and cross-shard arrivals into mailboxes.
+type exec struct {
+	s  *Sim
+	sh *shard
+}
+
+func (x exec) push(e event) {
+	if x.sh != nil {
+		x.sh.push(e)
+		return
+	}
+	x.s.pushEvent(e)
+}
+
+func (s *Sim) pushEvent(e event) {
+	if s.useHeap {
+		s.events.push(e)
+		return
+	}
+	s.cal.push(e)
+}
+
+func (s *Sim) popEventInto(ev *event) bool {
+	if s.useHeap {
+		if len(s.events) == 0 {
+			return false
+		}
+		*ev = s.events.pop()
+		return true
+	}
+	return s.cal.popIfInto(math.Inf(1), ev)
 }
 
 // New creates a simulator over a compiled network using minimal adaptive
@@ -240,6 +365,31 @@ func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Sim {
 	if cfg.Mode == CreditFC {
 		s.occ = make([]int64, c.NumNodes()*routing.MaxVCs)
 		s.waiters = make([][]int32, c.NumNodes()*routing.MaxVCs)
+	}
+	// horizon bounds every event-scheduling delay: serialization of a full
+	// packet plus link latency plus switch traversal, maximized over ports.
+	for i := range c.Ports {
+		p := &c.Ports[i]
+		d := float64(cfg.LP.PacketB)/p.GBps + p.Latency + cfg.LP.SwitchNS
+		if d > s.horizon {
+			s.horizon = d
+		}
+	}
+	s.useHeap = cfg.Queue == QueueHeap
+	if !s.useHeap {
+		s.cal.init(2*s.horizon + 1)
+	}
+	if n := cfg.Shards; n > 1 {
+		if nn := c.NumNodes(); n > nn {
+			n = nn
+		}
+		// Inherently serial configurations fall back to the serial engine
+		// (see the package doc); lookahead must be positive for windows to
+		// make progress.
+		if n > 1 && cfg.Mode == IdealBuffers && !cfg.UGAL.Enable &&
+			cfg.Choice != RandomCandidate && lookaheadOf(c, cfg) > 0 {
+			s.par = newParState(s, n)
+		}
 	}
 	return s
 }
@@ -292,15 +442,25 @@ func (s *Sim) Reset(flows []Flow) error {
 	}
 	s.flowSent = resetSlice(s.flowSent, len(flows))
 	s.flowRecvd = resetSlice(s.flowRecvd, len(flows))
-	s.res = Result{
+	res := Result{
 		FlowFinish: resetSlice(s.res.FlowFinish, len(flows)),
 		RecvByRank: resetSlice(s.res.RecvByRank, s.comp.NumEndpoints()),
 		Endpoints:  s.comp.Endpoints,
 	}
 	if s.cfg.CollectLinkStats {
-		s.res.LinkBytes = resetSlice(s.res.LinkBytes, len(s.channels))
+		// Reuse the previous run's backing array (building the new Result
+		// first and assigning after would drop it and reallocate per run).
+		res.LinkBytes = resetSlice(s.res.LinkBytes, len(s.channels))
 	}
+	s.res = res
 	s.events = s.events[:0]
+	if !s.useHeap {
+		s.cal.reset()
+	}
+	s.injSeq = 0
+	if s.par != nil {
+		s.par.reset()
+	}
 	return nil
 }
 
@@ -332,22 +492,12 @@ func (s *Sim) Run(flows []Flow) (*Result, error) {
 		}
 	}
 
-	for len(s.events) > 0 {
-		ev := s.events.pop()
-		s.res.Events++
-		if s.res.Events > s.cfg.MaxEvents {
-			return nil, fmt.Errorf("netsim: exceeded %d events", s.cfg.MaxEvents)
+	if s.par != nil {
+		if err := s.runParallel(); err != nil {
+			return nil, err
 		}
-		switch ev.kind {
-		case evArrive:
-			if err := s.arrive(ev); err != nil {
-				return nil, err
-			}
-		case evFree:
-			ci := ev.ch
-			s.channels[ci].busy = false
-			s.startTransmit(ci, ev.t)
-		}
+	} else if err := s.runSerial(); err != nil {
+		return nil, err
 	}
 	for fi := range flows {
 		if s.flowRecvd[fi] < flows[fi].Bytes {
@@ -358,6 +508,31 @@ func (s *Sim) Run(flows []Flow) (*Result, error) {
 		return nil, fmt.Errorf("netsim: internal error: undelivered packets in ideal mode")
 	}
 	return &s.res, nil
+}
+
+// runSerial is the single-threaded event loop.
+func (s *Sim) runSerial() error {
+	x := exec{s: s}
+	var ev event
+	for {
+		if !s.popEventInto(&ev) {
+			return nil
+		}
+		s.res.Events++
+		if s.res.Events > s.cfg.MaxEvents {
+			return fmt.Errorf("netsim: exceeded %d events", s.cfg.MaxEvents)
+		}
+		switch ev.kind() {
+		case evArrive:
+			if err := s.arrive(ev, x); err != nil {
+				return err
+			}
+		case evFree:
+			ci := ev.ch()
+			s.channels[ci].busy = false
+			s.startTransmit(ci, ev.t, x)
+		}
+	}
 }
 
 // injectNext creates the next packet of flow fi at time t.
@@ -373,29 +548,48 @@ func (s *Sim) injectNext(fi int32, t float64) {
 	if s.cfg.UGAL.Enable {
 		pkt.ugal.mid = s.chooseUGAL(int32(f.Src), int32(f.Dst), s.rng)
 	}
-	s.events.push(event{t: t, kind: evArrive, node: int32(f.Src), ch: -1, pkt: pkt})
+	// Injections are created in the same order serially and in parallel
+	// (the setup loop, then deliveries in canonical order), so seq is a
+	// deterministic, shard-count-independent tie-breaker.
+	s.injSeq++
+	ev := makeEvent(t, evArrive, int32(f.Src), -1, s.injSeq, pkt)
+	if s.par != nil {
+		s.par.routeInjection(ev)
+		return
+	}
+	s.pushEvent(ev)
+}
+
+// deliver processes a packet reaching its flow's destination endpoint. It
+// touches only flow and result accounting (never channel state), which is
+// what lets the parallel engine run all deliveries — and the injections
+// they trigger — in a single-threaded flow phase at window boundaries.
+func (s *Sim) deliver(ev event) {
+	pkt := ev.pkt
+	f := s.flows[pkt.flow]
+	s.flowRecvd[pkt.flow] += int64(pkt.size)
+	s.res.TotalBytes += int64(pkt.size)
+	s.res.RecvByRank[s.comp.RankOf[ev.node()]] += int64(pkt.size)
+	if ev.t > s.res.Makespan {
+		s.res.Makespan = ev.t
+	}
+	if s.flowRecvd[pkt.flow] >= f.Bytes {
+		s.res.FlowFinish[pkt.flow] = ev.t
+	}
+	if s.flowSent[pkt.flow] < f.Bytes {
+		s.injectNext(pkt.flow, ev.t)
+	}
 }
 
 // arrive processes a packet reaching a node (after link traversal, or at
 // the source when injected). It fails with a typed routing error when the
 // packet has no live output toward its target.
-func (s *Sim) arrive(ev event) error {
-	node := ev.node
+func (s *Sim) arrive(ev event, x exec) error {
+	node := ev.node()
 	pkt := ev.pkt
 	f := s.flows[pkt.flow]
 	if topo.NodeID(node) == f.Dst {
-		s.flowRecvd[pkt.flow] += int64(pkt.size)
-		s.res.TotalBytes += int64(pkt.size)
-		s.res.RecvByRank[s.comp.RankOf[node]] += int64(pkt.size)
-		if ev.t > s.res.Makespan {
-			s.res.Makespan = ev.t
-		}
-		if s.flowRecvd[pkt.flow] >= f.Bytes {
-			s.res.FlowFinish[pkt.flow] = ev.t
-		}
-		if s.flowSent[pkt.flow] < f.Bytes {
-			s.injectNext(pkt.flow, ev.t)
-		}
+		s.deliver(ev)
 		return nil
 	}
 	// Non-minimal (UGAL/Valiant) packets route to their intermediate
@@ -424,7 +618,7 @@ func (s *Sim) arrive(ev event) error {
 		// Charge this node's input buffer (switches only; endpoints are
 		// amply buffered NICs) under the arrival VC; the slot is released
 		// when the packet is popped for its next hop.
-		if ev.ch >= 0 && s.comp.IsSwitch(node) {
+		if ev.ch() >= 0 && s.comp.IsSwitch(node) {
 			s.occ[int(node)*routing.MaxVCs+int(pkt.vc)] += int64(pkt.size)
 			pkt.relVC = pkt.vc
 		} else {
@@ -435,7 +629,7 @@ func (s *Sim) arrive(ev event) error {
 	ch.queue = append(ch.queue, pkt)
 	ch.queuedB += int64(pkt.size)
 	if !ch.busy && !ch.blocked {
-		s.startTransmit(ci, ev.t)
+		s.startTransmit(ci, ev.t, x)
 	}
 	return nil
 }
@@ -478,7 +672,7 @@ func (s *Sim) pickOutput(node, dst int32) (int32, error) {
 
 // startTransmit pops the head packet of channel ci if flow control admits
 // it, scheduling serialization and arrival events.
-func (s *Sim) startTransmit(ci int32, t float64) {
+func (s *Sim) startTransmit(ci int32, t float64, x exec) {
 	ch := &s.channels[ci]
 	if ch.busy || ch.blocked || ch.qlen() == 0 {
 		return
@@ -496,7 +690,7 @@ func (s *Sim) startTransmit(ci int32, t float64) {
 	ch.pop()
 	ch.queuedB -= int64(pkt.size)
 	if s.cfg.Mode == CreditFC && pkt.relVC >= 0 {
-		s.releaseBufferAt(s.comp.Owner[ci], pkt.relVC, int64(pkt.size), t)
+		s.releaseBufferAt(s.comp.Owner[ci], pkt.relVC, int64(pkt.size), t, x)
 		pkt.relVC = -1
 	}
 	ser := float64(pkt.size) / p.GBps
@@ -504,16 +698,13 @@ func (s *Sim) startTransmit(ci int32, t float64) {
 		s.res.LinkBytes[ci] += int64(pkt.size)
 	}
 	ch.busy = true
-	s.events.push(event{t: t + ser, kind: evFree, ch: ci})
-	s.events.push(event{
-		t: t + ser + p.Latency + s.cfg.LP.SwitchNS, kind: evArrive,
-		node: p.To, ch: ci, pkt: pkt,
-	})
+	x.push(makeEvent(t+ser, evFree, 0, ci, 0, packet{}))
+	x.push(makeEvent(t+ser+p.Latency+s.cfg.LP.SwitchNS, evArrive, p.To, ci, 0, pkt))
 }
 
 // releaseBufferAt returns buffer space at (node, vc) and wakes channels
 // blocked on that buffer.
-func (s *Sim) releaseBufferAt(node int32, vc int8, size int64, t float64) {
+func (s *Sim) releaseBufferAt(node int32, vc int8, size int64, t float64, x exec) {
 	key := int(node)*routing.MaxVCs + int(vc)
 	s.occ[key] -= size
 	ws := s.waiters[key]
@@ -523,6 +714,6 @@ func (s *Sim) releaseBufferAt(node int32, vc int8, size int64, t float64) {
 	s.waiters[key] = nil
 	for _, wci := range ws {
 		s.channels[wci].blocked = false
-		s.startTransmit(wci, t)
+		s.startTransmit(wci, t, x)
 	}
 }

@@ -1,20 +1,39 @@
 package netsim
 
-// eventQueue is a typed 4-ary min-heap on event.t, replacing the
-// container/heap binary heap the engine started with. The event queue
-// dominates the simulator profile (~60% of CPU after the flat-array
-// refactor), and container/heap costs an interface boxing/unboxing per
-// push/pop plus indirect Less/Swap calls. The typed heap stores events
-// inline and inlines the comparisons; arity 4 halves the tree depth, so
-// sift-down — the expensive direction on pop — touches half as many
-// levels while the extra sibling comparisons stay in one cache line
-// (events are small and adjacent).
-//
-// Pop order among equal timestamps differs from container/heap in general;
-// the golden tests pin that the simulation outcomes are unchanged (equal-
-// time events in this engine are symmetric: they arrive at distinct
-// channels/nodes, so processing order within a timestamp does not change
-// queue-length comparisons made after all of them are processed).
+// The engine processes events in a canonical total order, not merely in
+// timestamp order: ties on t break by (kind, node, channel), then by seq
+// (assigned in injection-creation order), which makes every key unique —
+// injections are the only events that can collide on (t, kind, node,
+// channel), and each carries a distinct seq. A deterministic tie order
+// is what lets the calendar queue replace the heap without drift, and —
+// more importantly — what makes the sharded parallel engine
+// (parallel.go) bit-identical for any shard count: each shard pops the
+// canonical subsequence of the events at its nodes, so the per-node
+// event order (the only order simulation semantics can observe) is the
+// same no matter how nodes are grouped into shards. The (kind, node,
+// ch+1) key is precomputed into the single integer event.ord at creation
+// (see makeEvent), so the comparator is at most three compares; ties on
+// t are pervasive (packet times are quantized by uniform serialization
+// delays) and the event queue is the hottest code in the engine.
+func eventBefore(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.ord != b.ord {
+		return a.ord < b.ord
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is a typed 4-ary min-heap in the canonical event order. It
+// replaced the container/heap binary heap the engine started with (an
+// interface boxing/unboxing per push/pop plus indirect Less/Swap calls;
+// the event queue dominated the profile at ~60% of CPU), and since the
+// calendar queue (calqueue.go) became the default it serves two roles:
+// the reference implementation selectable with Config.Queue = QueueHeap
+// (pinned pop-for-pop identical to the calendar queue by property test),
+// and the calendar queue's far-future overflow area, where events beyond
+// the ring span wait in O(log n) until the cursor approaches their slice.
 type eventQueue []event
 
 // push inserts e, sifting it up toward the root.
@@ -24,7 +43,7 @@ func (q *eventQueue) push(e event) {
 	h = append(h, e)
 	for i > 0 {
 		parent := (i - 1) >> 2
-		if h[parent].t <= e.t {
+		if !eventBefore(&e, &h[parent]) {
 			break
 		}
 		h[i] = h[parent]
@@ -34,7 +53,7 @@ func (q *eventQueue) push(e event) {
 	*q = h
 }
 
-// pop removes and returns the earliest event.
+// pop removes and returns the earliest event in canonical order.
 func (q *eventQueue) pop() event {
 	h := *q
 	top := h[0]
@@ -58,11 +77,11 @@ func (q *eventQueue) pop() event {
 		}
 		best := first
 		for c := first + 1; c < end; c++ {
-			if h[c].t < h[best].t {
+			if eventBefore(&h[c], &h[best]) {
 				best = c
 			}
 		}
-		if last.t <= h[best].t {
+		if !eventBefore(&h[best], &last) {
 			break
 		}
 		h[i] = h[best]

@@ -19,6 +19,11 @@ import (
 // per-shift RNG here instead of one generator threaded across shifts, so
 // they stay deterministic for any worker count but are not comparable
 // draw-for-draw with the serial API.
+//
+// cfg.Shards flows through to every simulation: the sharded engine's
+// Result is bit-identical for any shard count, so shares from this
+// function (and PermutationSweepGBps, ResilienceSweep) are invariant
+// across both worker count and shard count.
 func (p *Pool) AlltoallPacketShare(c *core.Cluster, cfg netsim.Config, bytes int64, nShifts int, seed int64) (float64, error) {
 	// On a degraded cluster view the alltoall runs among the surviving
 	// endpoints over the fault-masked routing table.

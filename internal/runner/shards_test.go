@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"hammingmesh/internal/netsim"
+)
+
+// The runner-level shard invariance pin: the three packet-level sweep
+// entry points must return bit-identical results for any cfg.Shards, on
+// top of the worker-count invariance they already guarantee.
+func TestSweepsShardInvariant(t *testing.T) {
+	pool := NewSeeded(4, 1)
+	c, err := pool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := netsim.DefaultConfig()
+	wantShare, err := pool.AlltoallPacketShare(c, base, 32<<10, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerms, err := pool.PermutationSweepGBps(c, base, 32<<10, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := pool.ResilienceSweep(c, base, 32<<10, []float64{0, 0.10}, 2, 2, 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{2, 4} {
+		cfg := base
+		cfg.Shards = shards
+		share, err := pool.AlltoallPacketShare(c, cfg, 32<<10, 3, 42)
+		if err != nil {
+			t.Fatalf("shards=%d alltoall: %v", shards, err)
+		}
+		if share != wantShare {
+			t.Errorf("shards=%d alltoall share %v != serial %v", shards, share, wantShare)
+		}
+		perms, err := pool.PermutationSweepGBps(c, cfg, 32<<10, 3, 42)
+		if err != nil {
+			t.Fatalf("shards=%d permutation: %v", shards, err)
+		}
+		if !reflect.DeepEqual(perms, wantPerms) {
+			t.Errorf("shards=%d permutation sweep %v != serial %v", shards, perms, wantPerms)
+		}
+		res, err := pool.ResilienceSweep(c, cfg, 32<<10, []float64{0, 0.10}, 2, 2, 42, 0)
+		if err != nil {
+			t.Fatalf("shards=%d resilience: %v", shards, err)
+		}
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Errorf("shards=%d resilience sweep %+v != serial %+v", shards, res, wantRes)
+		}
+	}
+}

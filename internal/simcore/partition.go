@@ -1,0 +1,53 @@
+package simcore
+
+// Partition splits the compiled nodes into contiguous ranges for the
+// sharded-parallel packet engine. Because node ranges are contiguous and
+// Ports is CSR-ordered by node, shard s also owns the contiguous port
+// range Ports[PortOff[Bounds[s]]:PortOff[Bounds[s+1]]] — all mutable
+// per-channel simulator state of a shard is a contiguous slice, touched
+// by exactly one worker.
+type Partition struct {
+	NumShards int
+	// Bounds has NumShards+1 entries; shard s owns nodes
+	// [Bounds[s], Bounds[s+1]).
+	Bounds []int32
+	// NodeShard[u] is the shard owning node u.
+	NodeShard []int32
+}
+
+// PartitionNodes splits the nodes into nShards contiguous ranges balanced
+// by simulation weight (1 + port degree, a proxy for per-node event
+// volume). nShards is clamped to [1, NumNodes] so every shard is
+// non-empty; the result depends only on the compiled network and the
+// clamped shard count, never on runtime conditions, which the parallel
+// engine's determinism contract relies on.
+func (c *Compiled) PartitionNodes(nShards int) *Partition {
+	nn := c.NumNodes()
+	if nShards < 1 {
+		nShards = 1
+	}
+	if nShards > nn {
+		nShards = nn
+	}
+	p := &Partition{
+		NumShards: nShards,
+		Bounds:    make([]int32, nShards+1),
+		NodeShard: make([]int32, nn),
+	}
+	total := int64(len(c.Ports) + nn)
+	var acc int64
+	sh := 0
+	for u := 0; u < nn; u++ {
+		p.NodeShard[u] = int32(sh)
+		acc += 1 + int64(c.PortOff[u+1]-c.PortOff[u])
+		// Cut after u once this shard reached its quota — or must cut, when
+		// the remaining nodes are only just enough for the remaining shards.
+		rem := nShards - 1 - sh
+		if rem > 0 && nn-(u+1) >= rem && (acc >= int64(sh+1)*total/int64(nShards) || nn-(u+1) == rem) {
+			sh++
+			p.Bounds[sh] = int32(u + 1)
+		}
+	}
+	p.Bounds[nShards] = int32(nn)
+	return p
+}

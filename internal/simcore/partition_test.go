@@ -1,0 +1,69 @@
+package simcore
+
+import (
+	"testing"
+
+	"hammingmesh/internal/topo"
+)
+
+func checkPartition(t *testing.T, c *Compiled, p *Partition, nShards int) {
+	t.Helper()
+	if p.NumShards != nShards {
+		t.Fatalf("NumShards = %d, want %d", p.NumShards, nShards)
+	}
+	if len(p.Bounds) != nShards+1 || p.Bounds[0] != 0 || p.Bounds[nShards] != int32(c.NumNodes()) {
+		t.Fatalf("bad bounds %v for %d nodes", p.Bounds, c.NumNodes())
+	}
+	for s := 0; s < nShards; s++ {
+		if p.Bounds[s+1] <= p.Bounds[s] {
+			t.Fatalf("shard %d is empty: bounds %v", s, p.Bounds)
+		}
+		for u := p.Bounds[s]; u < p.Bounds[s+1]; u++ {
+			if p.NodeShard[u] != int32(s) {
+				t.Fatalf("NodeShard[%d] = %d, want %d", u, p.NodeShard[u], s)
+			}
+		}
+	}
+}
+
+func TestPartitionNodes(t *testing.T) {
+	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+	c := Of(h.Network)
+	nn := c.NumNodes()
+	for _, nShards := range []int{1, 2, 3, 4, 8, 16} {
+		p := c.PartitionNodes(nShards)
+		checkPartition(t, c, p, nShards)
+
+		// Balance: each shard's port+node weight within 2x of the ideal
+		// (contiguity limits how uneven the greedy cut can get on a
+		// homogeneous fabric).
+		total := int64(len(c.Ports) + nn)
+		ideal := total / int64(nShards)
+		for s := 0; s < nShards; s++ {
+			var w int64
+			for u := p.Bounds[s]; u < p.Bounds[s+1]; u++ {
+				w += 1 + int64(c.PortOff[u+1]-c.PortOff[u])
+			}
+			if w > 2*ideal {
+				t.Errorf("shard %d weight %d > 2x ideal %d (bounds %v)", s, w, ideal, p.Bounds)
+			}
+		}
+	}
+}
+
+func TestPartitionNodesClamps(t *testing.T) {
+	h := topo.NewHxMesh(1, 1, 2, 2, topo.DefaultLinkParams())
+	c := Of(h.Network)
+	nn := c.NumNodes()
+	if p := c.PartitionNodes(0); p.NumShards != 1 {
+		t.Errorf("nShards 0 -> %d shards, want 1", p.NumShards)
+	}
+	if p := c.PartitionNodes(-3); p.NumShards != 1 {
+		t.Errorf("negative nShards -> %d shards, want 1", p.NumShards)
+	}
+	p := c.PartitionNodes(10 * nn)
+	if p.NumShards != nn {
+		t.Fatalf("oversized nShards -> %d shards, want %d", p.NumShards, nn)
+	}
+	checkPartition(t, c, p, nn)
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — run the tracked performance benchmarks and emit a JSON
-# trajectory file (default BENCH_PR4.json) for CI artifacts, so the
+# trajectory file (default BENCH_PR6.json) for CI artifacts, so the
 # ns/op, allocs/op and events/op of the hot paths are comparable across
 # PRs:
 #
 #   PacketSim            raw packet-engine throughput (Reset-reuse path)
+#   PacketSimQueue/*     calendar queue vs the reference 4-ary heap
+#   PacketSimShards/*    sharded parallel engine at 1/2/4/8 shards
 #   AlltoallSweep        pooled packet-level alltoall shift sweep
 #   AlltoallSweepFaulted the same sweep on a 10%-degraded fabric
 #   FlowSolverLarge      flow-level alltoall on the 16,384-endpoint Hx2Mesh
@@ -20,10 +22,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR6.json}"
 raw="bench-raw.txt"
 args=(-run '^$'
-  -bench 'BenchmarkPacketSim$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
+  -bench 'BenchmarkPacketSim$|BenchmarkPacketSimQueue$|BenchmarkPacketSimShards$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
   -benchmem -benchtime "${BENCHTIME:-1x}")
 if [ "${SHORT:-1}" = "1" ]; then
   args+=(-short)
