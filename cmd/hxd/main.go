@@ -1,0 +1,98 @@
+// Command hxd is the simulation-as-a-service daemon: a long-lived HTTP
+// front-end over the repo's experiment entry points. Clients POST
+// experiment requests as JSON to /v1/experiments; the daemon
+// canonicalizes each request (defaults filled, inert options stripped),
+// hashes it into a content address and serves repeats from a
+// byte-accounted LRU result cache. Concurrent identical requests coalesce
+// onto one in-flight computation, and small distinct requests are batched
+// onto the shared runner pool. /metrics exposes Prometheus-style
+// counters, gauges and latency histograms; /healthz answers liveness
+// probes.
+//
+// Usage:
+//
+//	hxd -addr 127.0.0.1:8080 -workers 8 -cache-bytes 67108864
+//	curl -s -X POST -d '{"kind":"alltoall_flow","topo":"hx2mesh","size":"tiny"}' \
+//	    http://127.0.0.1:8080/v1/experiments
+//
+// The cache-status of every response rides in the X-Hxd-Cache header
+// (miss | hit | coalesced) next to the content address (X-Hxd-Key) and
+// per-stage latencies, so response bodies stay byte-identical across
+// cache hits and fresh computations. On SIGINT/SIGTERM the daemon drains
+// gracefully: in-flight requests complete, new ones are refused.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hammingmesh/internal/runner"
+	"hammingmesh/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port, printed on startup)")
+	workers := flag.Int("workers", 0, "runner pool workers (0 = GOMAXPROCS; results are worker-count invariant)")
+	seed := flag.Int64("seed", 1, "base seed of the runner pool's deterministic per-job seeds")
+	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result cache budget in bytes")
+	clusterBytes := flag.Int64("cluster-cache-bytes", 0, "cluster cache budget in bytes (0 = unbounded)")
+	batchSize := flag.Int("batch-size", serve.DefaultBatchSize, "requests per batch flush")
+	maxWait := flag.Duration("max-wait", serve.DefaultMaxWait, "how long a partial batch waits before flushing")
+	queueLen := flag.Int("queue", serve.DefaultQueueLen, "pending-request queue bound; beyond it requests get 429")
+	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	pool := runner.NewSeeded(*workers, *seed)
+	if *clusterBytes > 0 {
+		pool.SetClusterBudget(*clusterBytes)
+	}
+	s := serve.New(serve.Config{
+		Pool:       pool,
+		CacheBytes: *cacheBytes,
+		QueueLen:   *queueLen,
+		BatchSize:  *batchSize,
+		MaxWait:    *maxWait,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hxd: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	// The actual address goes to stdout first thing so scripts (and the
+	// smoke tests) can bind to :0 and parse the chosen port.
+	fmt.Printf("hxd listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("hxd: %v, draining\n", sig)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "hxd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers finish, then
+	// drain the batch queue so every accepted request still completes.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hxd: shutdown: %v\n", err)
+		s.Close()
+		os.Exit(1)
+	}
+	s.Close()
+	fmt.Println("hxd: drained, bye")
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hammingmesh/internal/cmdtest"
+)
+
+// Smoke: start the daemon on an ephemeral port, POST the same experiment
+// twice (the second must be a byte-identical cache hit), scrape /metrics,
+// then SIGTERM it and expect a clean graceful exit.
+func TestHxdSmoke(t *testing.T) {
+	bin := cmdtest.Build(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start hxd: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the chosen address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("hxd produced no output: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "hxd listening on "
+	if !strings.HasPrefix(line, marker) {
+		t.Fatalf("unexpected first line %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, marker)
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	post := func() ([]byte, string) {
+		resp, err := http.Post(base+"/v1/experiments", "application/json",
+			strings.NewReader(`{"kind":"allreduce","topo":"hx2mesh","size":"tiny"}`))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST: status %d, body %s", resp.StatusCode, body)
+		}
+		return body, resp.Header.Get("X-Hxd-Cache")
+	}
+	body1, cache1 := post()
+	body2, cache2 := post()
+	if cache1 == "hit" || cache2 != "hit" {
+		t.Fatalf("cache statuses = %q, %q; want fresh then hit", cache1, cache2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("hit body differs from computed body:\n%s\n%s", body1, body2)
+	}
+	cmdtest.MustContain(t, string(body1), `"kind":"allreduce"`, `"share"`)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cmdtest.MustContain(t, string(mb),
+		"hxd_cache_hits_total 1",
+		"hxd_computations_total 1",
+		`hxd_requests_total{kind="allreduce",status="ok"} 2`)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hxd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("hxd did not drain within 30s of SIGTERM")
+	}
+}

@@ -149,6 +149,19 @@ func (c *Cluster) SampleFaults(linkFrac float64, boards int, seed int64) (*fault
 	return b.Build(), nil
 }
 
+// MemoryBytes estimates the resident size of the cluster's shared
+// immutable state: the compiled network's flat per-port/per-node arrays
+// plus the routing table's lazily built caches. The table part grows as
+// experiments warm it, so the estimate should be re-read, not snapshot —
+// runner.Pool budgets its cluster cache against this value.
+func (c *Cluster) MemoryBytes() int64 {
+	// Ports + Owner + GroupOf + GroupPorts are the per-port arrays
+	// (~28 B/port); PortOff, Kind, ranks and group offsets are per node
+	// (~16 B/node).
+	b := int64(c.Comp.NumPorts())*28 + int64(c.Comp.NumNodes())*16
+	return b + c.Table.MemoryBytes()
+}
+
 // Inventory returns the graph-derived equipment inventory.
 func (c *Cluster) Inventory() cost.Inventory { return cost.FromNetwork(c.Net) }
 

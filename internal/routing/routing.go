@@ -196,6 +196,22 @@ func (t *Table) buildCand(dst topo.NodeID) *candVec {
 	return t.cand[dst].Load()
 }
 
+// MemoryBytes approximates the memory retained by the table's lazily
+// built caches: four bytes per entry of every cached distance vector plus
+// the candidate-DAG bytes already tracked against the sampling budget.
+// The value grows as the table warms, so callers that budget table memory
+// (runner.Pool's cluster cache) should re-estimate rather than snapshot.
+// Safe for concurrent use.
+func (t *Table) MemoryBytes() int64 {
+	built := 0
+	for i := range t.dist {
+		if t.dist[i].Load() != nil {
+			built++
+		}
+	}
+	return 4*int64(built)*int64(t.C.NumNodes()) + t.candBytes.Load()
+}
+
 // candUnderBudget reports whether one more candidate DAG fits the table's
 // budget, using the worst-case per-destination footprint.
 func (t *Table) candUnderBudget() bool {

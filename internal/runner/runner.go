@@ -11,6 +11,7 @@
 package runner
 
 import (
+	"container/list"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -52,12 +53,25 @@ type Result struct {
 
 // Pool is a fixed-size worker pool with a shared cluster cache. A Pool is
 // safe for concurrent use.
+//
+// The cluster cache is unbounded by default (every built topology stays
+// for the pool's lifetime — the right call for one-shot CLI sweeps). A
+// long-lived pool (the hxd daemon) bounds it with SetClusterBudget: the
+// cache then evicts least-recently-used clusters so that the estimated
+// resident bytes of *cached* entries (core.Cluster.MemoryBytes, re-read on
+// every access because routing tables warm lazily) never exceed the
+// budget. Eviction only forgets the cache entry — clusters already handed
+// out stay valid (they are immutable), and a later request for an evicted
+// key rebuilds the identical cluster deterministically.
 type Pool struct {
 	workers  int
 	baseSeed int64
 
 	mu       sync.Mutex
 	clusters map[clusterKey]*clusterSlot
+	lru      *list.List // of *clusterSlot; front = most recently used
+	budget   int64      // cluster-cache byte budget; <= 0 means unbounded
+	evicted  int64
 }
 
 type clusterKey struct {
@@ -66,9 +80,15 @@ type clusterKey struct {
 }
 
 type clusterSlot struct {
-	once sync.Once
-	c    *core.Cluster
-	err  error
+	key  clusterKey
+	elem *list.Element // nil once evicted
+	size int64
+	// built is set under the pool mutex after once completes, so the
+	// accounting sweep may read c/err for any slot with built == true.
+	built bool
+	once  sync.Once
+	c     *core.Cluster
+	err   error
 }
 
 // New creates a pool with the given worker count (<= 0 means GOMAXPROCS).
@@ -83,25 +103,87 @@ func NewSeeded(workers int, baseSeed int64) *Pool {
 		workers:  workers,
 		baseSeed: baseSeed,
 		clusters: make(map[clusterKey]*clusterSlot),
+		lru:      list.New(),
 	}
 }
 
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// SetClusterBudget bounds the cluster cache to approximately `bytes` of
+// estimated resident memory (<= 0 restores the unbounded default). The
+// bound is enforced on every Cluster access: cached entries are re-sized
+// (routing tables grow as they warm) and least-recently-used clusters are
+// dropped until the cached total fits — including, if a single cluster
+// alone exceeds the budget, that cluster itself, which is then served but
+// not retained.
+func (p *Pool) SetClusterBudget(bytes int64) {
+	p.mu.Lock()
+	p.budget = bytes
+	p.accountLocked()
+	p.mu.Unlock()
+}
+
+// CacheStats reports the cluster cache occupancy: cached entries, their
+// estimated resident bytes (as of the last accounting sweep), and the
+// cumulative eviction count.
+func (p *Pool) CacheStats() (entries int, bytes int64, evictions int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		bytes += e.Value.(*clusterSlot).size
+	}
+	return p.lru.Len(), bytes, p.evicted
+}
+
 // Cluster returns the cached cluster for (name, size), building it on
-// first use. Concurrent callers for the same key share one build.
+// first use. Concurrent callers for the same key share one build. Under a
+// SetClusterBudget bound the access also refreshes the LRU order and
+// evicts over-budget entries.
 func (p *Pool) Cluster(name string, size core.ClusterSize) (*core.Cluster, error) {
 	key := clusterKey{name, size}
 	p.mu.Lock()
 	slot, ok := p.clusters[key]
 	if !ok {
-		slot = &clusterSlot{}
+		slot = &clusterSlot{key: key}
+		slot.elem = p.lru.PushFront(slot)
 		p.clusters[key] = slot
+	} else if slot.elem != nil {
+		p.lru.MoveToFront(slot.elem)
 	}
 	p.mu.Unlock()
 	slot.once.Do(func() { slot.c, slot.err = core.NewByName(name, size) })
+	p.mu.Lock()
+	slot.built = true
+	if p.budget > 0 {
+		p.accountLocked()
+	}
+	p.mu.Unlock()
 	return slot.c, slot.err
+}
+
+// accountLocked re-estimates every built cached cluster's size and evicts
+// from the LRU tail until the cached total fits the budget. Caller holds
+// p.mu; with no budget set it is a no-op.
+func (p *Pool) accountLocked() {
+	if p.budget <= 0 {
+		return
+	}
+	total := int64(0)
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		s := e.Value.(*clusterSlot)
+		if s.built && s.err == nil {
+			s.size = s.c.MemoryBytes()
+		}
+		total += s.size
+	}
+	for total > p.budget && p.lru.Len() > 0 {
+		s := p.lru.Remove(p.lru.Back()).(*clusterSlot)
+		s.elem = nil
+		delete(p.clusters, s.key)
+		total -= s.size
+		p.evicted++
+	}
 }
 
 // splitmix64 is the SplitMix64 finalizer; it decorrelates consecutive job

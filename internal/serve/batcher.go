@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// batchItem is one request travelling through the batcher, carrying the
+// per-stage timestamps (enqueue → flush → served) that become the
+// response's latency headers.
+type batchItem struct {
+	canon *Canon
+	key   string
+
+	enqueued time.Time
+	flushed  time.Time
+	served   time.Time
+
+	body []byte
+	err  error
+	done chan struct{} // closed once body/err are final
+}
+
+// Batcher coalesces small distinct requests into batches before they hit
+// the runner pool (the related-work MerkleBatcher shape): requests queue
+// on a bounded channel, a single flusher goroutine collects up to
+// BatchSize of them — or whatever arrived when MaxWait expires after the
+// first — and computes the batch back to back, so consecutive requests
+// for the same cluster reuse the pool's warm cluster/table cache instead
+// of interleaving with unrelated work. The bounded queue is the server's
+// backpressure: Enqueue fails when it is full and the handler answers
+// 429 + Retry-After.
+type Batcher struct {
+	ch        chan *batchItem
+	batchSize int
+	maxWait   time.Duration
+	compute   func(*Canon) ([]byte, error)
+
+	// onFlush observes every flush (size and reason: "size" | "wait" |
+	// "drain") for the metrics registry; may be nil.
+	onFlush func(n int, reason string)
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewBatcher starts the flusher. queueLen bounds the pending queue
+// (minimum 1), batchSize the flush size (minimum 1); maxWait <= 0
+// defaults to 2ms.
+func NewBatcher(queueLen, batchSize int, maxWait time.Duration, compute func(*Canon) ([]byte, error), onFlush func(int, string)) *Batcher {
+	if queueLen < 1 {
+		queueLen = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &Batcher{
+		ch:        make(chan *batchItem, queueLen),
+		batchSize: batchSize,
+		maxWait:   maxWait,
+		compute:   compute,
+		onFlush:   onFlush,
+	}
+	b.wg.Add(1)
+	go b.flusher()
+	return b
+}
+
+// Enqueue submits an item without blocking; false means the queue is full
+// (backpressure — the caller should reject the request).
+func (b *Batcher) Enqueue(it *batchItem) bool {
+	it.enqueued = time.Now()
+	select {
+	case b.ch <- it:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth is the number of queued, not-yet-flushed items.
+func (b *Batcher) Depth() int { return len(b.ch) }
+
+// Close drains the queue — every already-enqueued item still completes —
+// and stops the flusher. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.ch) })
+	b.wg.Wait()
+}
+
+func (b *Batcher) flusher() {
+	defer b.wg.Done()
+	for {
+		first, ok := <-b.ch
+		if !ok {
+			return
+		}
+		batch := append(make([]*batchItem, 0, b.batchSize), first)
+		reason := "wait"
+		timer := time.NewTimer(b.maxWait)
+		open := true
+	collect:
+		for len(batch) < b.batchSize {
+			select {
+			case it, more := <-b.ch:
+				if !more {
+					open = false
+					reason = "drain"
+					break collect
+				}
+				batch = append(batch, it)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		if len(batch) == b.batchSize {
+			reason = "size"
+		}
+		now := time.Now()
+		for _, it := range batch {
+			it.flushed = now
+		}
+		if b.onFlush != nil {
+			b.onFlush(len(batch), reason)
+		}
+		// Back-to-back execution: each item's computation fans out on the
+		// pool internally, so the batch runs serially here while the pool
+		// parallelizes within each item.
+		for _, it := range batch {
+			it.body, it.err = b.compute(it.canon)
+			it.served = time.Now()
+			close(it.done)
+		}
+		if !open {
+			// The channel closed mid-collect; drain what is left and exit.
+			for it := range b.ch {
+				it.flushed = time.Now()
+				it.body, it.err = b.compute(it.canon)
+				it.served = time.Now()
+				close(it.done)
+			}
+			return
+		}
+	}
+}

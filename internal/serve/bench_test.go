@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hammingmesh/internal/runner"
+)
+
+func benchPost(b *testing.B, url, body string) {
+	resp, err := http.Post(url+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkDaemonHit measures the repeat-request fast path over real
+// HTTP: canonicalize, content address, LRU cache hit — no pool work.
+func BenchmarkDaemonHit(b *testing.B) {
+	s := New(Config{Pool: runner.New(2)})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := `{"kind":"allreduce","topo":"hx2mesh","size":"tiny"}`
+	benchPost(b, ts.URL, req) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL, req)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkDaemonDistinct measures the full miss path: every request has
+// a fresh content address and flows through the batcher onto the pool
+// (the cheap analytic allreduce measurement, so the daemon overhead —
+// not the simulation — dominates what is being compared across PRs).
+func BenchmarkDaemonDistinct(b *testing.B) {
+	s := New(Config{Pool: runner.New(2)})
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL,
+			fmt.Sprintf(`{"kind":"allreduce","topo":"hx2mesh","size":"tiny","bytes":%d}`, 1024+i))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

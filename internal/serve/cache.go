@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntryOverhead approximates the per-entry bookkeeping bytes charged
+// against the cache budget on top of key and body: the list element, map
+// bucket share and entry struct.
+const cacheEntryOverhead = 160
+
+// Cache is the content-addressed result cache: an LRU over canonical-
+// config hashes with strict byte accounting. The cached bytes (keys +
+// bodies + per-entry overhead) never exceed the budget — inserting past
+// it evicts least-recently-used entries first, and a body larger than the
+// whole budget is simply not retained. Safe for concurrent use.
+//
+// Soundness rests on the determinism contract: the key is the SHA-256 of
+// the canonical config and equal canonical config ⇒ bit-identical result,
+// so a hit can never serve a result that a fresh computation would not
+// reproduce byte for byte.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache creates a cache bounded to `budget` bytes (<= 0 disables
+// caching entirely: every Get misses, every Put is dropped).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+func entrySize(key string, body []byte) int64 {
+	return int64(len(key)) + int64(len(body)) + cacheEntryOverhead
+}
+
+// Get returns the cached body for the content address and marks the entry
+// most recently used. The returned slice is shared — callers must not
+// mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits++
+	return e.Value.(*cacheEntry).body, true
+}
+
+// Put stores the body under the content address, evicting LRU entries
+// until the accounted bytes fit the budget. Storing an existing key
+// replaces its body.
+func (c *Cache) Put(key string, body []byte) {
+	size := entrySize(key, body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return // larger than the whole cache: serve, don't retain
+	}
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(ent.body))
+		ent.body = body
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += size
+	}
+	for c.bytes > c.budget && c.ll.Len() > 0 {
+		e := c.ll.Back()
+		ent := e.Value.(*cacheEntry)
+		c.ll.Remove(e)
+		delete(c.items, ent.key)
+		c.bytes -= entrySize(ent.key, ent.body)
+		c.evictions++
+	}
+}
+
+// Stats reports occupancy and traffic counters.
+func (c *Cache) Stats() (entries int, bytes, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// keyOf decodes raw JSON the way the handler does (strict) and returns the
+// content address.
+func keyOf(t *testing.T, js string) string {
+	t.Helper()
+	var r Request
+	dec := json.NewDecoder(strings.NewReader(js))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		t.Fatalf("decode %s: %v", js, err)
+	}
+	cn, err := Canonicalize(r)
+	if err != nil {
+		t.Fatalf("canonicalize %s: %v", js, err)
+	}
+	return cn.Key()
+}
+
+// Semantically equal requests — reordered JSON keys, explicit-vs-default
+// values, zero-valued or kind-inert options — must share one content
+// address.
+func TestCanonEqualSemanticsSameKey(t *testing.T) {
+	cases := []struct{ name, a, b string }{
+		{"reordered+explicit-defaults",
+			`{"kind":"alltoall_flow"}`,
+			`{"size":"tiny","shifts":8,"topo":"hx2mesh","seed":1,"kind":"alltoall_flow"}`},
+		{"inert-worker-shard-count",
+			`{"kind":"alltoall_packet","bytes":65536}`,
+			`{"kind":"alltoall_packet","bytes":65536,"workers":8,"shards":4}`},
+		{"inert-for-kind (bytes/credit on the flow path)",
+			`{"kind":"alltoall_flow","seed":3}`,
+			`{"kind":"alltoall_flow","seed":3,"bytes":123,"credit":true}`},
+		{"inert-fail-seed-without-faults",
+			`{"kind":"permutation"}`,
+			`{"kind":"permutation","fail_seed":99}`},
+		{"inert-seed-for-allreduce",
+			`{"kind":"allreduce"}`,
+			`{"kind":"allreduce","seed":42,"bytes":262144}`},
+		{"sched-defaults",
+			`{"kind":"sched","topo":"hx2mesh"}`,
+			`{"kind":"sched","policies":["firstfit"],"mtbfs":[0,40],"ckpts_h":[2],"jobs":120,"horizon_h":40,"trials":2}`},
+		{"zero-seed-is-default",
+			`{"kind":"resilience","seed":0,"fail_seed":0}`,
+			`{"kind":"resilience","seed":1,"fail_seed":1,"fail_links":0.2,"steps":5,"trials":3,"shifts":4}`},
+	}
+	for _, tc := range cases {
+		if ka, kb := keyOf(t, tc.a), keyOf(t, tc.b); ka != kb {
+			t.Errorf("%s: keys differ\n  %s -> %s\n  %s -> %s", tc.name, tc.a, ka, tc.b, kb)
+		}
+	}
+}
+
+// Any meaningful field change must change the content address.
+func TestCanonMeaningfulChangeNewKey(t *testing.T) {
+	base := `{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny"}`
+	mutants := []string{
+		`{"kind":"alltoall_flow","topo":"hx2mesh","size":"tiny"}`,
+		`{"kind":"alltoall_packet","topo":"torus","size":"tiny"}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"small"}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","bytes":65536}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","shifts":2}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","seed":2}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","credit":true}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","fail_links":0.05}`,
+		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","fail_links":0.05,"fail_seed":2}`,
+	}
+	seen := map[string]string{keyOf(t, base): base}
+	for _, m := range mutants {
+		k := keyOf(t, m)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("distinct requests share a key:\n  %s\n  %s", prev, m)
+		}
+		seen[k] = m
+	}
+}
+
+// Property check over seeded random requests: adding inert noise never
+// moves the content address; flipping one meaningful field always does.
+// Canonicalization must also be idempotent — re-canonicalizing a canonical
+// form is a fixed point.
+func TestCanonProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	kinds := Kinds()
+	topos := []string{"hx2mesh", "hx4mesh", "hyperx", "torus", "fattree", "dragonfly"}
+	sizes := []string{"", "tiny", "small", "large"}
+	for i := 0; i < 300; i++ {
+		r := Request{
+			Kind:   kinds[rng.Intn(len(kinds))],
+			Topo:   topos[rng.Intn(len(topos))],
+			Size:   sizes[rng.Intn(len(sizes))],
+			Bytes:  int64(rng.Intn(3)) * 4096,
+			Shifts: rng.Intn(4),
+			Perms:  rng.Intn(3),
+			Seed:   int64(rng.Intn(4)),
+			Credit: rng.Intn(2) == 0,
+			Trials: rng.Intn(3),
+		}
+		if r.Kind == KindSched || rng.Intn(4) == 0 {
+			r.Topo = "hx2mesh" // keep sched/board faults valid
+		}
+		if rng.Intn(3) == 0 {
+			r.FailLinks = 0.05 * float64(1+rng.Intn(3))
+			r.FailSeed = int64(rng.Intn(3))
+		}
+		cn, err := Canonicalize(r)
+		if err != nil {
+			t.Fatalf("canonicalize %+v: %v", r, err)
+		}
+
+		// Inert noise: worker/shard counts never matter.
+		noisy := r
+		noisy.Workers = 1 + rng.Intn(16)
+		noisy.Shards = 1 + rng.Intn(8)
+		cnNoisy, err := Canonicalize(noisy)
+		if err != nil {
+			t.Fatalf("canonicalize noisy %+v: %v", noisy, err)
+		}
+		if cn.Key() != cnNoisy.Key() {
+			t.Fatalf("inert noise moved the key:\n%+v\n%+v", r, noisy)
+		}
+
+		// One meaningful change: the seed on seeded kinds, bytes on
+		// byte-sized kinds, the horizon on sched.
+		mut := r
+		switch r.Kind {
+		case KindAllreduce:
+			mut.Bytes = cn.Bytes + 4096
+		case KindSched:
+			mut.HorizonH = cn.HorizonH + 1
+		default:
+			mut.Seed = cn.Seed + 1
+		}
+		cnMut, err := Canonicalize(mut)
+		if err != nil {
+			t.Fatalf("canonicalize mutant %+v: %v", mut, err)
+		}
+		if cn.Key() == cnMut.Key() {
+			t.Fatalf("meaningful change kept the key: %+v vs %+v", r, mut)
+		}
+
+		// Idempotence: canonical values survive a second pass unchanged.
+		again, err := Canonicalize(Request{
+			Kind: cn.Kind, Topo: cn.Topo, Size: cn.Size, Bytes: cn.Bytes,
+			Shifts: cn.Shifts, Perms: cn.Perms, Seed: cn.Seed, Credit: cn.Credit,
+			FailLinks: cn.FailLinks, FailBoards: cn.FailBoards, FailSeed: cn.FailSeed,
+			Trials: cn.Trials, Steps: cn.Steps, Jobs: cn.Jobs, HorizonH: cn.HorizonH,
+			MTBFs: cn.MTBFs, CkptsH: cn.CkptsH, Policies: cn.Policies, Reserve: cn.Reserve,
+		})
+		if err != nil {
+			t.Fatalf("re-canonicalize %+v: %v", cn, err)
+		}
+		if again.Key() != cn.Key() {
+			t.Fatalf("canonicalization not idempotent for %+v", r)
+		}
+	}
+}
+
+// Invalid requests are rejected with an error, never hashed.
+func TestCanonRejects(t *testing.T) {
+	bad := []Request{
+		{},
+		{Kind: "nosuchkind"},
+		{Kind: KindAlltoallFlow, Topo: "nosuchtopo"},
+		{Kind: KindAlltoallFlow, Size: "medium"},
+		{Kind: KindAlltoallFlow, FailLinks: 1.5},
+		{Kind: KindAlltoallFlow, Shifts: -1},
+		{Kind: KindSched, Topo: "fattree"},
+		{Kind: KindSched, Policies: []string{"nosuchpolicy"}},
+		{Kind: KindSched, MTBFs: []float64{-1}},
+		{Kind: KindAlltoallPacket, FailBoards: 2, Topo: "dragonfly"},
+	}
+	for _, r := range bad {
+		if _, err := Canonicalize(r); err == nil {
+			t.Errorf("Canonicalize(%+v) accepted, want error", r)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"hammingmesh/internal/runner"
+)
+
+// Default knobs for the daemon; cmd/hxd exposes all of them as flags.
+const (
+	DefaultCacheBytes = 64 << 20
+	DefaultQueueLen   = 256
+	DefaultBatchSize  = 8
+	DefaultMaxWait    = 2 * time.Millisecond
+)
+
+// errQueueFull is the backpressure signal: the batch queue rejected the
+// request, the handler answers 429 + Retry-After.
+var errQueueFull = errors.New("serve: batch queue full")
+
+// Config configures a Server.
+type Config struct {
+	// Pool is the shared runner pool experiments execute on. Required
+	// unless Compute is set.
+	Pool *runner.Pool
+	// CacheBytes bounds the result cache (<= 0 uses DefaultCacheBytes;
+	// use NewCache directly for a disabled cache in tests).
+	CacheBytes int64
+	// QueueLen bounds the pending batch queue; beyond it requests are
+	// rejected with 429 (<= 0 uses DefaultQueueLen).
+	QueueLen int
+	// BatchSize is the flush size of the batcher (<= 0 uses
+	// DefaultBatchSize).
+	BatchSize int
+	// MaxWait is how long a partial batch waits for company before
+	// flushing anyway (<= 0 uses DefaultMaxWait).
+	MaxWait time.Duration
+	// Compute overrides the per-request computation (tests); when nil,
+	// a Computer over Pool is used.
+	Compute func(*Canon) ([]byte, error)
+}
+
+// call is one in-flight computation that concurrent identical requests
+// attach to (singleflight): the first arrival is the leader and runs the
+// computation; every later arrival with the same content address waits on
+// done and reuses the result.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+
+	queueNs   int64
+	computeNs int64
+}
+
+// Server is the hxd daemon core: canonicalize → content address → cache
+// lookup → singleflight → batch onto the pool. It is an http.Handler
+// serving POST /v1/experiments, GET /metrics and GET /healthz.
+type Server struct {
+	cache   *Cache
+	batcher *Batcher
+	metrics *Registry
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	hits, misses, coalesced, rejected, computations, errored *Counter
+	queueHist, computeHist, totalHist                        *Histogram
+}
+
+// New builds a Server and starts its batcher. Call Close to drain it.
+func New(cfg Config) *Server {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	compute := cfg.Compute
+	if compute == nil {
+		compute = NewComputer(cfg.Pool).Compute
+	}
+
+	reg := NewRegistry()
+	s := &Server{
+		cache:    NewCache(cfg.CacheBytes),
+		metrics:  reg,
+		mux:      http.NewServeMux(),
+		inflight: make(map[string]*call),
+
+		hits:         reg.Counter("hxd_cache_hits_total", "", "requests served from the result cache"),
+		misses:       reg.Counter("hxd_cache_misses_total", "", "requests that had to compute"),
+		coalesced:    reg.Counter("hxd_coalesced_total", "", "requests that attached to an identical in-flight computation"),
+		rejected:     reg.Counter("hxd_rejected_total", "", "requests rejected by queue backpressure"),
+		computations: reg.Counter("hxd_computations_total", "", "pool computations actually performed"),
+		errored:      reg.Counter("hxd_errors_total", "", "computations that returned an error"),
+	}
+	latBuckets := []float64{0.0005, 0.002, 0.01, 0.05, 0.2, 1, 5, 20}
+	s.queueHist = reg.Histogram("hxd_stage_seconds", `stage="queue"`, "per-stage request latency", latBuckets)
+	s.computeHist = reg.Histogram("hxd_stage_seconds", `stage="compute"`, "per-stage request latency", latBuckets)
+	s.totalHist = reg.Histogram("hxd_stage_seconds", `stage="total"`, "per-stage request latency", latBuckets)
+
+	flushes := func(n int, reason string) {
+		reg.Counter("hxd_batch_flushes_total", fmt.Sprintf("reason=%q", reason), "batch flushes by trigger").Inc()
+		reg.Counter("hxd_batched_requests_total", "", "requests that went through the batcher").Add(int64(n))
+	}
+	s.batcher = NewBatcher(cfg.QueueLen, cfg.BatchSize, cfg.MaxWait, compute, flushes)
+
+	reg.GaugeFunc("hxd_queue_depth", "", "queued, not yet flushed requests", func() float64 {
+		return float64(s.batcher.Depth())
+	})
+	reg.GaugeFunc("hxd_cache_entries", "", "entries in the result cache", func() float64 {
+		entries, _, _, _, _ := s.cache.Stats()
+		return float64(entries)
+	})
+	reg.GaugeFunc("hxd_cache_bytes", "", "accounted bytes in the result cache", func() float64 {
+		_, bytes, _, _, _ := s.cache.Stats()
+		return float64(bytes)
+	})
+	reg.GaugeFunc("hxd_cache_evictions", "", "entries evicted from the result cache", func() float64 {
+		_, _, _, _, ev := s.cache.Stats()
+		return float64(ev)
+	})
+
+	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.Render(w)
+	})
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the batch queue (every accepted request still completes)
+// and stops the batcher. The graceful-shutdown order in cmd/hxd is
+// http.Server.Shutdown first — no new requests — then Close.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Metrics exposes the registry (examples, tests).
+func (s *Server) Metrics() *Registry { return s.metrics }
+
+// CacheStats exposes result-cache occupancy and traffic counters.
+func (s *Server) CacheStats() (entries int, bytes, hits, misses, evictions int64) {
+	return s.cache.Stats()
+}
+
+func (s *Server) countRequest(kind, status string) {
+	s.metrics.Counter("hxd_requests_total",
+		fmt.Sprintf("kind=%q,status=%q", kind, status), "experiment requests by kind and outcome").Inc()
+}
+
+func (s *Server) fail(w http.ResponseWriter, kind string, code int, err error) {
+	status := "error"
+	switch code {
+	case http.StatusBadRequest:
+		status = "bad_request"
+	case http.StatusTooManyRequests:
+		status = "rejected"
+		w.Header().Set("Retry-After", "1")
+	}
+	s.countRequest(kind, status)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, "unknown", http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	cn, err := Canonicalize(req)
+	if err != nil {
+		s.fail(w, req.Kind, http.StatusBadRequest, err)
+		return
+	}
+	key := cn.Key()
+	w.Header().Set("X-Hxd-Key", key)
+
+	if body, ok := s.cache.Get(key); ok {
+		s.hits.Inc()
+		s.serve(w, cn.Kind, "hit", body, start, 0, 0)
+		return
+	}
+	s.misses.Inc()
+
+	s.mu.Lock()
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		<-cl.done
+		if cl.err != nil {
+			s.failCompute(w, cn.Kind, cl.err)
+			return
+		}
+		s.serve(w, cn.Kind, "coalesced", cl.body, start, cl.queueNs, cl.computeNs)
+		return
+	}
+	cl := &call{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+
+	item := &batchItem{canon: cn, key: key, done: make(chan struct{})}
+	if !s.batcher.Enqueue(item) {
+		cl.err = errQueueFull
+		// Publish the failure before dropping the inflight slot so
+		// attached followers observe it too.
+		close(cl.done)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		s.rejected.Inc()
+		s.fail(w, cn.Kind, http.StatusTooManyRequests, errQueueFull)
+		return
+	}
+	<-item.done
+	s.computations.Inc()
+	cl.body, cl.err = item.body, item.err
+	cl.queueNs = item.flushed.Sub(item.enqueued).Nanoseconds()
+	cl.computeNs = item.served.Sub(item.flushed).Nanoseconds()
+	s.queueHist.Observe(float64(cl.queueNs) / 1e9)
+	s.computeHist.Observe(float64(cl.computeNs) / 1e9)
+	if cl.err == nil {
+		// Fill the cache before releasing the inflight slot: a request
+		// arriving in between finds the cached body instead of starting
+		// a duplicate computation.
+		s.cache.Put(key, cl.body)
+	}
+	close(cl.done)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+
+	if cl.err != nil {
+		s.failCompute(w, cn.Kind, cl.err)
+		return
+	}
+	s.serve(w, cn.Kind, "miss", cl.body, start, cl.queueNs, cl.computeNs)
+}
+
+func (s *Server) failCompute(w http.ResponseWriter, kind string, err error) {
+	s.errored.Inc()
+	code := http.StatusInternalServerError
+	if errors.Is(err, errQueueFull) {
+		code = http.StatusTooManyRequests
+	}
+	s.fail(w, kind, code, err)
+}
+
+// serve writes the result body — byte-identical across hit, miss and
+// coalesced paths — with the cache status and stage latencies in headers.
+func (s *Server) serve(w http.ResponseWriter, kind, cacheStatus string, body []byte, start time.Time, queueNs, computeNs int64) {
+	s.countRequest(kind, "ok")
+	total := time.Since(start)
+	s.totalHist.Observe(total.Seconds())
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Hxd-Cache", cacheStatus)
+	if queueNs > 0 || computeNs > 0 {
+		h.Set("X-Hxd-Queue-Ns", fmt.Sprintf("%d", queueNs))
+		h.Set("X-Hxd-Compute-Ns", fmt.Sprintf("%d", computeNs))
+	}
+	h.Set("X-Hxd-Total-Ns", fmt.Sprintf("%d", total.Nanoseconds()))
+	w.Write(body)
+}

@@ -10,6 +10,8 @@
 #   AlltoallSweep        pooled packet-level alltoall shift sweep
 #   AlltoallSweepFaulted the same sweep on a 10%-degraded fabric
 #   FlowSolverLarge      flow-level alltoall on the 16,384-endpoint Hx2Mesh
+#   DaemonHit            hxd repeat-request path: HTTP + cache hit
+#   DaemonDistinct       hxd miss path: canonicalize + batch + pool
 #
 # Usage:
 #   tools/bench.sh [out.json]
@@ -22,7 +24,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 raw="bench-raw.txt"
 args=(-run '^$'
   -bench 'BenchmarkPacketSim$|BenchmarkPacketSimQueue$|BenchmarkPacketSimShards$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
@@ -32,6 +34,11 @@ if [ "${SHORT:-1}" = "1" ]; then
 fi
 
 go test "${args[@]}" . | tee "$raw"
+
+# The daemon-path benchmarks (hxd serving layer) ride along in the same
+# trajectory file: req/s for the cache-hit and full-miss paths.
+go test -run '^$' -bench 'BenchmarkDaemonHit$|BenchmarkDaemonDistinct$' \
+  -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/serve | tee -a "$raw"
 
 # One JSON object per benchmark line: name, iterations, then every
 # value/unit metric pair go test printed (ns/op, B/op, allocs/op,

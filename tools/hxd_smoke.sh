@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# hxd_smoke.sh — end-to-end smoke of the hxd daemon over real HTTP:
+# build the binary, start it on an ephemeral port, POST the same
+# experiment twice and require the second response to be a byte-identical
+# cache hit, scrape /metrics, then SIGTERM and require a graceful exit.
+#
+# Usage:
+#   tools/hxd_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+hxd_pid=""
+cleanup() {
+  [ -n "$hxd_pid" ] && kill -9 "$hxd_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/hxd" ./cmd/hxd
+
+echo "== start"
+"$workdir/hxd" -addr 127.0.0.1:0 -workers 2 >"$workdir/stdout.log" 2>&1 &
+hxd_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^hxd listening on //p' "$workdir/stdout.log" | head -n1)"
+  [ -n "$addr" ] && break
+  kill -0 "$hxd_pid" 2>/dev/null || { cat "$workdir/stdout.log"; echo "hxd died on startup"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "hxd never announced its address"; exit 1; }
+base="http://$addr"
+echo "   daemon at $base"
+
+req='{"kind":"allreduce","topo":"hx2mesh","size":"tiny"}'
+post() {
+  curl -sS -D "$workdir/$1.hdr" -o "$workdir/$1.body" \
+    -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/experiments"
+}
+
+echo "== first request (computes)"
+post r1
+grep -qi '^HTTP/.* 200' "$workdir/r1.hdr" || { cat "$workdir/r1.hdr" "$workdir/r1.body"; exit 1; }
+cat "$workdir/r1.body"; echo
+
+echo "== second request (must hit the cache, byte-identical)"
+post r2
+grep -qi '^x-hxd-cache: hit' "$workdir/r2.hdr" || {
+  echo "second response was not a cache hit:"; cat "$workdir/r2.hdr"; exit 1; }
+cmp "$workdir/r1.body" "$workdir/r2.body" || { echo "hit body differs from computed body"; exit 1; }
+
+echo "== /metrics"
+curl -sS "$base/metrics" >"$workdir/metrics.txt"
+for m in 'hxd_cache_hits_total 1' 'hxd_computations_total 1' 'hxd_requests_total{kind="allreduce",status="ok"} 2'; do
+  grep -qF "$m" "$workdir/metrics.txt" || { echo "metrics missing: $m"; cat "$workdir/metrics.txt"; exit 1; }
+done
+
+echo "== /healthz"
+curl -sSf "$base/healthz"
+
+echo "== graceful shutdown"
+kill -TERM "$hxd_pid"
+wait "$hxd_pid" || { echo "hxd exited non-zero after SIGTERM"; cat "$workdir/stdout.log"; exit 1; }
+hxd_pid=""
+grep -q 'drained, bye' "$workdir/stdout.log" || { echo "no drain message"; cat "$workdir/stdout.log"; exit 1; }
+
+echo "hxd smoke OK"
