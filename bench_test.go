@@ -25,6 +25,7 @@ import (
 	"hammingmesh/internal/cost"
 	"hammingmesh/internal/dnn"
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/obs"
 	"hammingmesh/internal/routing"
 	"hammingmesh/internal/runner"
 	"hammingmesh/internal/simcore"
@@ -626,6 +627,38 @@ func BenchmarkPacketSim(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkTraceOverhead pins the obs contract on the packet engine's hot
+// path: with instrumentation off ("off") a steady-state run allocates
+// nothing and costs what BenchmarkPacketSim costs; with a registry and
+// flight recorder attached ("on") the per-run delta stays within a few
+// percent. Compare the two sub-benchmarks' time/op (the CI smoke asserts
+// 0 B/op on "off").
+func BenchmarkTraceOverhead(b *testing.B) {
+	h := topo.NewHxMesh(2, 2, 4, 4, topo.DefaultLinkParams())
+	rng := rand.New(rand.NewSource(9))
+	flows := netsim.PermutationFlows(h.Endpoints, 512<<10, rng)
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := netsim.DefaultConfig()
+			if mode == "on" {
+				cfg.Metrics = obs.NewRegistry()
+				cfg.Trace = obs.NewRecorder(0)
+			}
+			sim := netsim.NewNet(h.Network, nil, cfg)
+			if _, err := sim.Run(flows); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(flows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkPacketSimQueue pits the two event-queue implementations

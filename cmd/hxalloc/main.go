@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"hammingmesh/internal/core"
+	"hammingmesh/internal/obs"
 	"hammingmesh/internal/runner"
 	"hammingmesh/internal/sched"
 	"hammingmesh/internal/workload"
@@ -73,6 +74,7 @@ func main() {
 	burstShape := flag.String("burst-shape", "4x1", "sched: burst region WxH in boards (rack segment / row outage)")
 	defragList := flag.String("defrag", "0", "sched: fragmentation thresholds triggering checkpoint-migrate defrag (0 = off)")
 	defragCost := flag.Float64("defrag-cost", 0.1, "sched: checkpoint-transfer overhead per migrated job, hours")
+	traceOut := flag.String("trace-out", "", "sched: write a Chrome trace-event JSON flight recording of one representative run to this file (open in Perfetto); -trace stays the input trace file")
 	flag.Parse()
 
 	d := workload.AlibabaLike()
@@ -100,7 +102,7 @@ func main() {
 			horizon: *horizon, repair: *repair, mtbfs: *mtbfList, ckpts: *ckptList,
 			policies: *policyList, trials: *trials, seed: *seed, traceFile: *traceFile,
 			reserves: *reserveList, bursts: *burstList, burstShape: *burstShape,
-			defrags: *defragList, defragCost: *defragCost,
+			defrags: *defragList, defragCost: *defragCost, traceOut: *traceOut,
 		})
 		return
 	}
@@ -152,7 +154,7 @@ type schedFlags struct {
 	horizon, repair                   float64
 	mtbfs, ckpts, policies, traceFile string
 	reserves, bursts, burstShape      string
-	defrags                           string
+	defrags, traceOut                 string
 	defragCost                        float64
 	trials                            int
 	seed                              int64
@@ -239,6 +241,67 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 			100*pt.Goodput, 100*pt.Utilization, 100*pt.LostFrac,
 			pt.WaitP50, pt.WaitP99, pt.MaxWaitLarge, pt.Completed, pt.Evictions, pt.Migrations)
 	}
+	if f.traceOut != "" {
+		writeSchedTrace(c, cfg, f.traceOut)
+	}
+}
+
+// writeSchedTrace replays one representative scheduler run — the sweep's
+// first (policy, checkpoint, reservation, defrag) point at trial 0, with
+// the first positive MTBF's failure set — into a flight recorder and
+// writes it as Chrome trace-event JSON: a queued/run/evicted span per job
+// lane plus cluster-lane failure, repair and defrag instants. The replay
+// is an extra observation pass over a run the sweep already scored; it
+// alters none of the printed numbers.
+func writeSchedTrace(c *core.Cluster, cfg runner.SchedSweepConfig, path string) {
+	rec := obs.NewRecorder(0)
+	runCfg := cfg.Base
+	runCfg.Policy = cfg.Policies[0]
+	runCfg.CheckpointH = cfg.CheckpointsH[0]
+	if len(cfg.Reservations) > 0 {
+		runCfg.Reservation = cfg.Reservations[0]
+	}
+	if len(cfg.DefragThresholds) > 0 {
+		runCfg.DefragThreshold = cfg.DefragThresholds[0]
+	}
+	if runCfg.Slowdown == nil {
+		runCfg.Slowdown = sched.NewCommSlowdown(c.Hx.Cfg.A, c.Hx.Cfg.B)
+	}
+	runCfg.Trace = rec
+	seed := runner.JobSeed(cfg.Seed, 0)
+	trace := cfg.FixedTrace
+	if trace == nil {
+		trace = sched.Synthetic(cfg.Trace, seed)
+	}
+	mtbf := 0.0
+	for _, m := range cfg.MTBFs {
+		if m > 0 {
+			mtbf = m
+			break
+		}
+	}
+	var fails []sched.FailEvent
+	if mtbf > 0 {
+		boards := sched.BoardSequence(c.Hx, c.Comp, seed)
+		fails = sched.NewFailures(boards, runCfg.HorizonH, mtbf, seed).Thin(mtbf)
+	}
+	if _, err := sched.Run(c.Grid.X, c.Grid.Y, trace, fails, runCfg); err != nil {
+		fatalf("trace run: %v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := rec.WriteJSON(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fatalf("trace write: %v", err)
+	}
+	fmt.Printf("\ntrace: %d events (%d dropped) -> %s (open in Perfetto / chrome://tracing)\n",
+		rec.Len(), rec.Dropped(), path)
 }
 
 func parseFloats(s, flagName string) []float64 {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -50,4 +53,44 @@ func TestHxallocSchedSmoke(t *testing.T) {
 
 	cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4", "-policies", "nosuchpolicy")
 	cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4", "-burst-shape", "bogus")
+}
+
+// Smoke: -trace-out replays one representative scheduler run into a valid
+// Chrome trace-event JSON file without changing the sweep's numbers.
+func TestHxallocSchedTraceOut(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	args := []string{"-mode", "sched", "-grid", "4x4",
+		"-jobs", "30", "-horizon", "20", "-mtbf", "0,40", "-ckpt", "2",
+		"-policies", "firstfit", "-trials", "1"}
+	want := cmdtest.Run(t, bin, args...)
+
+	path := filepath.Join(t.TempDir(), "sched.json")
+	out := cmdtest.Run(t, bin, append(args, "-trace-out", path)...)
+	cmdtest.MustContain(t, out, "trace:", "Perfetto")
+	for _, ln := range strings.Split(strings.TrimSpace(want), "\n") {
+		if !strings.Contains(out, ln) {
+			t.Errorf("sweep line changed under -trace-out: %q missing from:\n%s", ln, out)
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev["name"].(string)] = true
+	}
+	for _, name := range []string{"queued", "run", "board-fail"} {
+		if !names[name] {
+			t.Errorf("no %q events in scheduler trace (got %v)", name, names)
+		}
+	}
 }

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"hammingmesh/internal/obs"
 	"hammingmesh/internal/runner"
 	"hammingmesh/internal/serve"
 )
@@ -47,18 +48,26 @@ func main() {
 	maxWait := flag.Duration("max-wait", serve.DefaultMaxWait, "how long a partial batch waits before flushing")
 	queueLen := flag.Int("queue", serve.DefaultQueueLen, "pending-request queue bound; beyond it requests get 429")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	pool := runner.NewSeeded(*workers, *seed)
 	if *clusterBytes > 0 {
 		pool.SetClusterBudget(*clusterBytes)
 	}
+	// The process default registry unifies the scrape: daemon request
+	// counters, pool job/cache instruments and engine series all render on
+	// the one /metrics page.
+	reg := obs.Default()
+	pool.EnableObs(reg)
 	s := serve.New(serve.Config{
 		Pool:       pool,
+		Registry:   reg,
 		CacheBytes: *cacheBytes,
 		QueueLen:   *queueLen,
 		BatchSize:  *batchSize,
 		MaxWait:    *maxWait,
+		Pprof:      *pprofFlag,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

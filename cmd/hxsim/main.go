@@ -42,6 +42,7 @@ import (
 
 	"hammingmesh/internal/core"
 	"hammingmesh/internal/netsim"
+	"hammingmesh/internal/obs"
 	"hammingmesh/internal/runner"
 )
 
@@ -60,6 +61,7 @@ func main() {
 	failBoards := flag.Int("fail-boards", 0, "number of whole boards to fail (HxMesh families)")
 	failSeed := flag.Int64("fail-seed", 1, "seed of the fault samplers")
 	trials := flag.Int("trials", 3, "seeded fault trials per resilience point")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON flight recording of one representative packet simulation to this file (open in Perfetto)")
 	flag.Parse()
 
 	pool := runner.NewSeeded(*parallel, *seed)
@@ -83,6 +85,13 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "invalid -sim-shards %q (want a positive integer or auto)\n", *simShards)
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		// Deferred so the recording also happens on the resilience
+		// pattern's early return, against the final (possibly degraded)
+		// cluster view. The traced run is an extra observation pass and
+		// alters none of the reported numbers.
+		defer func() { writeTrace(c, cfg, *bytes, *traceOut) }()
 	}
 
 	if *pattern == "resilience" {
@@ -172,4 +181,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
 		os.Exit(1)
 	}
+}
+
+// writeTrace records one representative single-shift alltoall packet
+// simulation into a fresh flight recorder and writes it as Chrome
+// trace-event JSON: per-link transmit spans, and with cfg.Shards > 1 the
+// shard window lanes and lookahead barriers.
+func writeTrace(c *core.Cluster, cfg netsim.Config, bytes int64, path string) {
+	rec := obs.NewRecorder(0)
+	cfg.Trace = rec
+	eps := c.AliveEndpoints()
+	if _, err := netsim.New(c.Comp, c.Table, cfg).Run(netsim.ShiftFlows(eps, 1, bytes)); err != nil {
+		fmt.Fprintf(os.Stderr, "trace run: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := rec.WriteJSON(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d events (%d dropped) -> %s (open in Perfetto / chrome://tracing)\n",
+		rec.Len(), rec.Dropped(), path)
 }

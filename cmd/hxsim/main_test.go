@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -59,5 +62,67 @@ func TestHxsimSimShards(t *testing.T) {
 	auto := packetLine(cmdtest.Run(t, bin, append(args, "-sim-shards", "auto")...))
 	if auto != want {
 		t.Errorf("auto shards differs from 1 shard:\nauto:    %s\n1 shard: %s", auto, want)
+	}
+}
+
+// TestHxsimTrace pins the -trace contract: the flag writes a valid Chrome
+// trace-event JSON file (the schema Perfetto loads), with sharded runs
+// contributing shard-lane spans, and the measured numbers are untouched
+// by the recording.
+func TestHxsimTrace(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	args := []string{"-topo", "hx2mesh", "-size", "tiny",
+		"-pattern", "alltoall", "-shifts", "2", "-bytes", "32768"}
+	want := cmdtest.Run(t, bin, args...)
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out := cmdtest.Run(t, bin, append(args, "-sim-shards", "2", "-trace", path)...)
+	cmdtest.MustContain(t, out, "trace:", "Perfetto")
+	// Observer contract at the CLI level: every measurement line is
+	// byte-identical with the recorder attached.
+	for _, ln := range strings.Split(strings.TrimSpace(want), "\n") {
+		if !strings.Contains(out, ln) {
+			t.Errorf("measurement line changed under -trace: %q missing from:\n%s", ln, out)
+		}
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatalf("trace has no events")
+	}
+	phases := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		phases[ph] = true
+		if ph == "X" {
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("span %d missing ts: %v", i, ev)
+			}
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("span %d missing dur: %v", i, ev)
+			}
+		}
+	}
+	// Metadata names the lanes; spans carry the actual work; the sharded
+	// run adds coordinator barriers as instants.
+	for _, ph := range []string{"M", "X", "i"} {
+		if !phases[ph] {
+			t.Errorf("no %q events in trace (got phases %v)", ph, phases)
+		}
 	}
 }

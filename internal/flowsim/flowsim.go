@@ -104,7 +104,27 @@ type Solver struct {
 	linkSub []int32   // CSR payload, sized to len(subLinks) per Solve
 	rates   []float64 // per-subflow frozen rate
 	heap    []satEntry
+
+	// stats accumulates solver-work counters across Solve calls (plain
+	// ints on the single-threaded solve path; see Stats).
+	stats SolveStats
 }
+
+// SolveStats are cumulative work counters of a Solver, for the obs
+// layer: heap pops and lazy re-keys measure the event-driven
+// water-filling effort, saturations counts frozen links, subflows the
+// sampled-path volume. Reading them costs nothing and recording them is
+// a handful of integer increments per solve — the solver's results are
+// unaffected (obs contract).
+type SolveStats struct {
+	HeapPops    int64
+	ReKeys      int64
+	Saturations int64
+	Subflows    int64
+}
+
+// Stats returns the cumulative counters since the Solver was created.
+func (s *Solver) Stats() SolveStats { return s.stats }
 
 // satEntry is one pending link-saturation event: at fill level t, link
 // `link` runs out of headroom. Saturation levels only grow as other links
@@ -295,11 +315,13 @@ func (s *Solver) waterfill() error {
 	s.heapify()
 	T := 0.0
 	frozen := 0
+	s.stats.Subflows += int64(nSubs)
 	for frozen < nSubs {
 		if len(s.heap) == 0 {
 			return fmt.Errorf("flowsim: water-filling ran dry with %d subflows active", nSubs-frozen)
 		}
 		e := s.heapPop()
+		s.stats.HeapPops++
 		l := e.link
 		n := s.nOnLink[l]
 		if n == 0 {
@@ -310,8 +332,10 @@ func (s *Solver) waterfill() error {
 			// The link lost active subflows since the push, moving its
 			// saturation level up; re-key and re-examine later.
 			s.heapPush(satEntry{t: trueT, link: l})
+			s.stats.ReKeys++
 			continue
 		}
+		s.stats.Saturations++
 		if trueT > T {
 			T = trueT
 		}

@@ -50,6 +50,7 @@ import (
 	"math"
 	"math/rand"
 
+	"hammingmesh/internal/obs"
 	"hammingmesh/internal/routing"
 	"hammingmesh/internal/simcore"
 	"hammingmesh/internal/topo"
@@ -117,6 +118,18 @@ type Config struct {
 	// Inherently serial configurations (CreditFC, UGAL, RandomCandidate)
 	// fall back to the serial engine.
 	Shards int
+	// Metrics, when non-nil, receives per-run engine statistics (events
+	// by kind, deliveries, windows, per-shard stalls, peak queue
+	// occupancy) flushed once after each Run. The hot loops keep plain
+	// per-run counters; the registry is touched only at flush time, and
+	// results are bit-identical with or without it (obs contract).
+	Metrics *obs.Registry
+	// Trace, when non-nil, records a flight-recorder trace: per-channel
+	// transmit spans (1 sim-ns = 1 trace-µs, so Perfetto shows per-link
+	// utilization lanes) and, under the parallel engine, per-shard window
+	// spans with barrier instants. Recording never perturbs the
+	// simulation; results stay bit-identical.
+	Trace *obs.Recorder
 }
 
 // DefaultConfig returns the paper-equivalent configuration.
@@ -310,6 +323,14 @@ type Sim struct {
 	rng *rand.Rand
 
 	res Result
+
+	// Per-run instrumentation counters, flushed into cfg.Metrics after a
+	// successful Run. Plain ints: the serial loop and the coordinator are
+	// single-threaded, and shard-local counts (parallel.go) are summed
+	// after the final barrier. qLive/qPeak track serial event-queue
+	// occupancy only (shards own private queues).
+	stArrive, stFree, stDeliver, stWindows, stStalls int64
+	qLive, qPeak                                     int64
 }
 
 // exec is the event-execution context: the simulator plus the sink
@@ -330,6 +351,10 @@ func (x exec) push(e event) {
 }
 
 func (s *Sim) pushEvent(e event) {
+	s.qLive++
+	if s.qLive > s.qPeak {
+		s.qPeak = s.qLive
+	}
 	if s.useHeap {
 		s.events.push(e)
 		return
@@ -343,9 +368,14 @@ func (s *Sim) popEventInto(ev *event) bool {
 			return false
 		}
 		*ev = s.events.pop()
+		s.qLive--
 		return true
 	}
-	return s.cal.popIfInto(math.Inf(1), ev)
+	if s.cal.popIfInto(math.Inf(1), ev) {
+		s.qLive--
+		return true
+	}
+	return false
 }
 
 // New creates a simulator over a compiled network using minimal adaptive
@@ -391,8 +421,24 @@ func New(c *simcore.Compiled, table *routing.Table, cfg Config) *Sim {
 			s.par = newParState(s, n)
 		}
 	}
+	if tr := cfg.Trace; tr != nil {
+		tr.SetProcessName(tracePidLinks, "netsim links")
+		if s.par != nil {
+			tr.SetProcessName(tracePidShards, "netsim shards")
+			for i := range s.par.shards {
+				tr.SetThreadName(tracePidShards, int32(i), fmt.Sprintf("shard %d", i))
+			}
+			tr.SetThreadName(tracePidShards, int32(len(s.par.shards)), "coordinator")
+		}
+	}
 	return s
 }
+
+// Trace pid lanes netsim emits into (obs.Recorder process ids).
+const (
+	tracePidLinks  = 1 // tid = channel (compiled port) id → per-link lanes
+	tracePidShards = 2 // tid = shard id; one extra lane for the coordinator
+)
 
 // NewNet creates a simulator straight from a network, compiling it through
 // the simcore cache.
@@ -458,6 +504,8 @@ func (s *Sim) Reset(flows []Flow) error {
 		s.cal.reset()
 	}
 	s.injSeq = 0
+	s.stArrive, s.stFree, s.stDeliver, s.stWindows, s.stStalls = 0, 0, 0, 0, 0
+	s.qLive, s.qPeak = 0, 0
 	if s.par != nil {
 		s.par.reset()
 	}
@@ -507,7 +555,30 @@ func (s *Sim) Run(flows []Flow) (*Result, error) {
 	if s.res.Deadlocked && s.cfg.Mode != CreditFC {
 		return nil, fmt.Errorf("netsim: internal error: undelivered packets in ideal mode")
 	}
+	s.flushMetrics()
 	return &s.res, nil
+}
+
+// flushMetrics publishes the run's plain counters into cfg.Metrics — the
+// one place per run the engine touches the registry, so the hot loops
+// stay allocation- and lock-free regardless of instrumentation.
+func (s *Sim) flushMetrics() {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("netsim_runs_total", "", "completed packet-simulation runs").Inc()
+	m.Counter("netsim_events_total", `kind="arrive"`, "processed simulator events by kind").Add(s.stArrive)
+	m.Counter("netsim_events_total", `kind="free"`, "processed simulator events by kind").Add(s.stFree)
+	m.Counter("netsim_deliveries_total", "", "packets delivered to their destination endpoint").Add(s.stDeliver)
+	m.Gauge("netsim_queue_peak_events", "", "peak event-queue occupancy of the last serial-engine run").Set(float64(s.qPeak))
+	if s.par != nil {
+		m.Counter("netsim_windows_total", "", "conservative-parallel lookahead windows executed").Add(s.stWindows)
+		for i := range s.par.shards {
+			m.Counter("netsim_window_stalls_total", fmt.Sprintf(`shard="%d"`, i),
+				"windows in which a shard had no events below the bound").Add(s.par.shards[i].stalls)
+		}
+	}
 }
 
 // runSerial is the single-threaded event loop.
@@ -524,10 +595,12 @@ func (s *Sim) runSerial() error {
 		}
 		switch ev.kind() {
 		case evArrive:
+			s.stArrive++
 			if err := s.arrive(ev, x); err != nil {
 				return err
 			}
 		case evFree:
+			s.stFree++
 			ci := ev.ch()
 			s.channels[ci].busy = false
 			s.startTransmit(ci, ev.t, x)
@@ -565,6 +638,7 @@ func (s *Sim) injectNext(fi int32, t float64) {
 // what lets the parallel engine run all deliveries — and the injections
 // they trigger — in a single-threaded flow phase at window boundaries.
 func (s *Sim) deliver(ev event) {
+	s.stDeliver++
 	pkt := ev.pkt
 	f := s.flows[pkt.flow]
 	s.flowRecvd[pkt.flow] += int64(pkt.size)
@@ -696,6 +770,14 @@ func (s *Sim) startTransmit(ci int32, t float64, x exec) {
 	ser := float64(pkt.size) / p.GBps
 	if s.cfg.CollectLinkStats {
 		s.res.LinkBytes[ci] += int64(pkt.size)
+	}
+	if tr := s.cfg.Trace; tr != nil {
+		// One span per packet serialization on the channel's lane: the
+		// gaps between spans are exactly the link's idle time, so Perfetto
+		// renders per-link utilization directly. Safe from shard
+		// goroutines (the recorder locks internally) and order-free (the
+		// export sort is canonical).
+		tr.Span(tracePidLinks, ci, "xmit", "link", t, ser)
 	}
 	ch.busy = true
 	x.push(makeEvent(t+ser, evFree, 0, ci, 0, packet{}))

@@ -65,6 +65,12 @@ type shard struct {
 
 	bound chan float64
 	err   error
+
+	// Per-run instrumentation (obs): event counts by kind and windows in
+	// which this shard had nothing below the bound. Shard-local during the
+	// run; the coordinator reads them only after the final barrier
+	// (finishParallel) and at metrics flush time.
+	nArrive, nFree, stalls int64
 }
 
 // lookaheadOf is the conservative lookahead of the compiled network: the
@@ -106,6 +112,7 @@ func (p *parState) reset() {
 		sh := &p.shards[i]
 		sh.q.reset()
 		sh.err = nil
+		sh.nArrive, sh.nFree, sh.stalls = 0, 0, 0
 		for t := range sh.mailOut {
 			sh.mailOut[t] = sh.mailOut[t][:0]
 		}
@@ -151,13 +158,20 @@ const budgetBatch = 1024
 func (sh *shard) runWindow(bound float64) {
 	s := sh.par.s
 	x := exec{s: s, sh: sh}
-	var local int64
+	var local, n int64
+	firstT := math.NaN()
+	var lastT float64
 	var ev event
 	for {
 		if !sh.q.popIfInto(bound, &ev) {
 			break
 		}
 		local++
+		n++
+		if math.IsNaN(firstT) {
+			firstT = ev.t
+		}
+		lastT = ev.t
 		if local == budgetBatch {
 			if sh.par.events.Add(local) > s.cfg.MaxEvents {
 				sh.err = fmt.Errorf("netsim: exceeded %d events", s.cfg.MaxEvents)
@@ -167,17 +181,28 @@ func (sh *shard) runWindow(bound float64) {
 		}
 		switch ev.kind() {
 		case evArrive:
+			sh.nArrive++
 			if err := s.arrive(ev, x); err != nil {
 				sh.err = err
 				return
 			}
 		case evFree:
+			sh.nFree++
 			ci := ev.ch()
 			s.channels[ci].busy = false
 			s.startTransmit(ci, ev.t, x)
 		}
 	}
 	sh.par.events.Add(local)
+	if n == 0 {
+		sh.stalls++
+	}
+	if tr := s.cfg.Trace; tr != nil && n > 0 {
+		// The shard's lane shows the sim-time interval its window actually
+		// covered (first to last executed event), so gaps to the barrier
+		// instants visualize conservative-window slack.
+		tr.Span(tracePidShards, sh.id, "window", "shard", firstT, lastT-firstT)
+	}
 }
 
 // runParallel is the coordinator loop: compute the next window bound,
@@ -212,6 +237,10 @@ func (s *Sim) runParallel() error {
 			return s.finishParallel()
 		}
 		bound := w + p.lookahead
+		s.stWindows++
+		if tr := s.cfg.Trace; tr != nil {
+			tr.Instant(tracePidShards, int32(len(p.shards)), "barrier", bound)
+		}
 
 		// Flow phase: all pending deliveries below the bound, in canonical
 		// order. Injections they trigger route into the shard queues and
@@ -222,6 +251,10 @@ func (s *Sim) runParallel() error {
 			nFlow++
 			s.deliver(ev)
 		}
+		// Flow-phase deliveries are arrival events the serial engine would
+		// have counted in its loop; credit them to the arrive kind so
+		// events-by-kind totals are shard-count invariant.
+		s.stArrive += nFlow
 		if nFlow > 0 && p.events.Add(nFlow) > s.cfg.MaxEvents {
 			return fmt.Errorf("netsim: exceeded %d events", s.cfg.MaxEvents)
 		}
@@ -262,5 +295,13 @@ func (s *Sim) runParallel() error {
 
 func (s *Sim) finishParallel() error {
 	s.res.Events = s.par.events.Load()
+	// Sum shard-local instrumentation into the Sim totals (safe: every
+	// worker is parked at the barrier — wg.Wait happened-before here).
+	for i := range s.par.shards {
+		sh := &s.par.shards[i]
+		s.stArrive += sh.nArrive
+		s.stFree += sh.nFree
+		s.stStalls += sh.stalls
+	}
 	return nil
 }

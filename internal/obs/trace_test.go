@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRecorderRing verifies fixed capacity with oldest-overwrite and the
+// dropped counter.
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Instant(1, 1, "e", float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	// Survivors are the last 4 emissions (ts 6..9), sorted by TS.
+	for i, e := range evs {
+		if want := float64(6 + i); e.TS != want {
+			t.Errorf("event %d TS = %g, want %g", i, e.TS, want)
+		}
+	}
+}
+
+// TestNilRecorderSafe pins the nil-recorder no-op contract relied on by
+// every instrumented layer.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{})
+	r.Span(1, 1, "s", "c", 0, 1)
+	r.Instant(1, 1, "i", 0)
+	r.Counter(1, 1, "c", "v", 0, 1)
+	r.SetProcessName(1, "p")
+	r.SetThreadName(1, 1, "t")
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatalf("nil recorder must be inert")
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON on nil recorder: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("nil-recorder JSON invalid: %v", err)
+	}
+}
+
+// TestCanonicalOrderDeterminism emits the same event set in two
+// different interleavings (one concurrent) and requires byte-identical
+// JSON exports — the property that makes traces from the parallel
+// engine deterministic.
+func TestCanonicalOrderDeterminism(t *testing.T) {
+	build := func(concurrent bool) string {
+		r := NewRecorder(64)
+		r.SetProcessName(1, "netsim")
+		r.SetThreadName(1, 3, "ch 3")
+		emit := func(shard int) {
+			for i := 0; i < 5; i++ {
+				ts := float64(i*10 + shard)
+				r.Span(1, int32(shard), "xmit", "net", ts, 2)
+				r.Instant(2, int32(shard), "barrier", ts+1)
+				r.Counter(1, 0, "occ", "events", ts, float64(i))
+			}
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for s := 1; s <= 3; s++ {
+				wg.Add(1)
+				go func(s int) { defer wg.Done(); emit(s) }(s)
+			}
+			wg.Wait()
+		} else {
+			for s := 3; s >= 1; s-- {
+				emit(s)
+			}
+		}
+		var sb strings.Builder
+		if err := r.WriteJSON(&sb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return sb.String()
+	}
+	a, b := build(false), build(true)
+	if a != b {
+		t.Errorf("export not canonical:\nserial:\n%s\nconcurrent:\n%s", a, b)
+	}
+}
+
+// TestWriteJSONSchema validates the exported document against the
+// Chrome trace-event shape Perfetto requires.
+func TestWriteJSONSchema(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetProcessName(7, "sched")
+	r.SetThreadName(7, 42, "job 42")
+	r.Span(7, 42, "run", "job", 100, 50)
+	r.Instant(7, 42, "checkpoint", 125)
+	r.Counter(7, 0, "util", "frac", 100, 0.75)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5 (2 metadata + 3 records)", len(doc.TraceEvents))
+	}
+	byPh := map[string]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event missing numeric pid: %v", e)
+		}
+		if _, ok := e["tid"].(float64); !ok {
+			t.Fatalf("event missing numeric tid: %v", e)
+		}
+		if _, ok := e["name"].(string); !ok {
+			t.Fatalf("event missing name: %v", e)
+		}
+		byPh[ph] = e
+	}
+	x := byPh["X"]
+	if x == nil || x["ts"].(float64) != 100 || x["dur"].(float64) != 50 {
+		t.Errorf("bad span event: %v", x)
+	}
+	in := byPh["i"]
+	if in == nil || in["s"] != "t" {
+		t.Errorf("instant missing scope: %v", in)
+	}
+	c := byPh["C"]
+	if c == nil {
+		t.Fatalf("no counter event")
+	}
+	args, _ := c["args"].(map[string]any)
+	if args["frac"].(float64) != 0.75 {
+		t.Errorf("counter args wrong: %v", c)
+	}
+	m := byPh["M"]
+	if m == nil {
+		t.Errorf("no metadata records")
+	}
+}
+
+// TestEmitZeroAlloc pins the steady-state zero-allocation contract of
+// the ring buffer.
+func TestEmitZeroAlloc(t *testing.T) {
+	r := NewRecorder(8)
+	ev := Event{Ph: PhaseSpan, Pid: 1, Tid: 2, Name: "x", TS: 1, Dur: 2}
+	allocs := testing.AllocsPerRun(1000, func() { r.Emit(ev) })
+	if allocs != 0 {
+		t.Errorf("Emit allocates %g allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEmit documents emission cost.
+func BenchmarkEmit(b *testing.B) {
+	r := NewRecorder(1 << 12)
+	ev := Event{Ph: PhaseSpan, Pid: 1, Tid: 2, Name: "x", TS: 1, Dur: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(ev)
+	}
+}

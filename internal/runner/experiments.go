@@ -38,6 +38,7 @@ func (p *Pool) AlltoallPacketShare(c *core.Cluster, cfg netsim.Config, bytes int
 	for i, shift := range shifts {
 		jobCfg := cfg
 		jobCfg.Seed = JobSeed(cfg.Seed, i) // decorrelate stochastic routing per shift
+		jobCfg.Metrics = p.obsReg          // engine series join the pool's scrape (nil = off)
 		jobs[i] = Job{
 			Name: fmt.Sprintf("alltoall-shift%d", shift),
 			Run: func(ctx *Ctx) (any, error) {
@@ -98,7 +99,9 @@ func (p *Pool) AlltoallFlowShare(c *core.Cluster, cfg flowsim.Config, nShifts in
 		jobs[i] = Job{
 			Name: fmt.Sprintf("alltoall-flow-shift%d", shift),
 			Run: func(ctx *Ctx) (any, error) {
-				rates, err := flowsim.New(c.Comp, c.Table, jobCfg).Solve(flowsim.ShiftFlows(eps, shift))
+				solver := flowsim.New(c.Comp, c.Table, jobCfg)
+				rates, err := solver.Solve(flowsim.ShiftFlows(eps, shift))
+				p.flushFlowStats(solver.Stats())
 				if err != nil {
 					return nil, err
 				}
@@ -141,6 +144,7 @@ func (p *Pool) PermutationSweepGBps(c *core.Cluster, cfg netsim.Config, bytes in
 	for i := range jobs {
 		jobCfg := cfg
 		jobCfg.Seed = JobSeed(cfg.Seed, i)
+		jobCfg.Metrics = p.obsReg
 		permSeed := JobSeed(seed, i)
 		jobs[i] = Job{
 			Name: fmt.Sprintf("permutation-%d", i),
@@ -158,6 +162,21 @@ func (p *Pool) PermutationSweepGBps(c *core.Cluster, cfg netsim.Config, bytes in
 		all = append(all, r.Value.([]float64)...)
 	}
 	return all, nil
+}
+
+// flushFlowStats publishes one solver's cumulative work counters (no-op
+// when observability is off). Solvers are per-job, so each flush adds a
+// full solver lifetime; called from worker goroutines (counters are
+// atomic).
+func (p *Pool) flushFlowStats(st flowsim.SolveStats) {
+	reg := p.obsReg
+	if reg == nil {
+		return
+	}
+	reg.Counter("flowsim_heap_pops_total", "", "link-saturation events popped by water-filling").Add(st.HeapPops)
+	reg.Counter("flowsim_rekeys_total", "", "lazy heap re-keys (saturation level moved after push)").Add(st.ReKeys)
+	reg.Counter("flowsim_saturations_total", "", "links frozen at their max-min saturation level").Add(st.Saturations)
+	reg.Counter("flowsim_subflows_total", "", "subflows water-filled across all solves").Add(st.Subflows)
 }
 
 // TopologySweep runs fn once per topology name at the given size, each as

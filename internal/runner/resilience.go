@@ -107,6 +107,7 @@ func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, 
 			frac, tr := frac, tr
 			jobCfg := cfg
 			jobCfg.Seed = JobSeed(cfg.Seed, fi*trials+tr)
+			jobCfg.Metrics = p.obsReg
 			jobs = append(jobs, Job{
 				Name: fmt.Sprintf("resilience-f%.3f-t%d", frac, tr),
 				Run: func(ctx *Ctx) (any, error) {

@@ -16,9 +16,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hammingmesh/internal/core"
+	"hammingmesh/internal/obs"
 )
 
 // Job is one unit of work in a sweep.
@@ -72,6 +74,17 @@ type Pool struct {
 	lru      *list.List // of *clusterSlot; front = most recently used
 	budget   int64      // cluster-cache byte budget; <= 0 means unbounded
 	evicted  int64
+
+	// Observability (EnableObs): nil obsReg means instrumentation is off
+	// and the hot paths skip it entirely (obs contract). queued/active are
+	// live job counts read by gauge functions at scrape time.
+	obsReg         *obs.Registry
+	queued, active atomic.Int64
+	jobsTotal      *obs.Counter
+	jobErrors      *obs.Counter
+	cacheHits      *obs.Counter
+	cacheHitBytes  *obs.Counter
+	jobSeconds     *obs.Histogram
 }
 
 type clusterKey struct {
@@ -109,6 +122,33 @@ func NewSeeded(workers int, baseSeed int64) *Pool {
 
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// EnableObs registers the pool's instruments into reg and starts
+// recording: jobs executed and errored, per-job wall-clock latency,
+// cluster-cache hits and hit-bytes, and live queue-depth/active-job
+// gauges. Call once at setup (cmd/hxd passes obs.Default()); the pool
+// also hands reg to the simulation engines it drives, so engine series
+// land in the same scrape. Never enabling it keeps the pool's hot path
+// free of instrumentation (obs contract).
+func (p *Pool) EnableObs(reg *obs.Registry) {
+	p.obsReg = reg
+	p.jobsTotal = reg.Counter("runner_jobs_total", "", "jobs executed by the pool")
+	p.jobErrors = reg.Counter("runner_job_errors_total", "", "jobs that returned an error")
+	p.cacheHits = reg.Counter("runner_cluster_cache_hits_total", "", "cluster requests served from the cache")
+	p.cacheHitBytes = reg.Counter("runner_cluster_cache_hit_bytes_total", "", "estimated bytes of cached clusters served without rebuilding")
+	p.jobSeconds = reg.Histogram("runner_job_seconds", "", "per-job wall-clock latency",
+		[]float64{0.0005, 0.002, 0.01, 0.05, 0.2, 1, 5, 20})
+	reg.GaugeFunc("runner_queued_jobs", "", "jobs submitted and not yet started", func() float64 {
+		return float64(p.queued.Load())
+	})
+	reg.GaugeFunc("runner_active_jobs", "", "jobs currently executing on workers", func() float64 {
+		return float64(p.active.Load())
+	})
+}
+
+// Obs returns the registry EnableObs installed (nil when off); sweep
+// drivers hand it to the engines they run.
+func (p *Pool) Obs() *obs.Registry { return p.obsReg }
 
 // SetClusterBudget bounds the cluster cache to approximately `bytes` of
 // estimated resident memory (<= 0 restores the unbounded default). The
@@ -151,7 +191,13 @@ func (p *Pool) Cluster(name string, size core.ClusterSize) (*core.Cluster, error
 	} else if slot.elem != nil {
 		p.lru.MoveToFront(slot.elem)
 	}
+	hit := ok && slot.built && slot.err == nil
+	hitBytes := slot.size
 	p.mu.Unlock()
+	if hit && p.obsReg != nil {
+		p.cacheHits.Inc()
+		p.cacheHitBytes.Add(hitBytes)
+	}
 	slot.once.Do(func() { slot.c, slot.err = core.NewByName(name, size) })
 	p.mu.Lock()
 	slot.built = true
@@ -212,6 +258,10 @@ func (p *Pool) Run(jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	o := p.obsReg != nil
+	if o {
+		p.queued.Add(int64(len(jobs)))
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -222,9 +272,22 @@ func (p *Pool) Run(jobs []Job) []Result {
 				job := jobs[i]
 				seed := JobSeed(p.baseSeed, i)
 				ctx := &Ctx{Index: i, Seed: seed, RNG: rand.New(rand.NewSource(seed)), Pool: p}
+				if o {
+					p.queued.Add(-1)
+					p.active.Add(1)
+				}
 				start := time.Now()
 				v, err := job.Run(ctx)
-				results[i] = Result{Name: job.Name, Value: v, Err: err, Elapsed: time.Since(start)}
+				elapsed := time.Since(start)
+				results[i] = Result{Name: job.Name, Value: v, Err: err, Elapsed: elapsed}
+				if o {
+					p.active.Add(-1)
+					p.jobsTotal.Inc()
+					if err != nil {
+						p.jobErrors.Inc()
+					}
+					p.jobSeconds.Observe(elapsed.Seconds())
+				}
 			}
 		}()
 	}

@@ -261,6 +261,7 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 		}
 		for tr := 0; tr < trials; tr++ {
 			m := results[ki*trials+tr].Value.(*sched.Metrics)
+			p.flushSchedDecisions(m)
 			n := float64(trials)
 			pt.Goodput += m.Goodput / n
 			pt.Utilization += m.Utilization / n
@@ -283,4 +284,27 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 		points[ki] = pt
 	}
 	return points, nil
+}
+
+// flushSchedDecisions publishes one scheduler run's decision counts as
+// type-labeled counters (no-op when observability is off).
+func (p *Pool) flushSchedDecisions(m *sched.Metrics) {
+	reg := p.obsReg
+	if reg == nil {
+		return
+	}
+	const help = "scheduler decisions by type, summed over sweep runs"
+	add := func(typ string, n int) {
+		reg.Counter("sched_decisions_total", `type="`+typ+`"`, help).Add(int64(n))
+	}
+	add("arrived", m.Arrived)
+	add("completed", m.Completed)
+	add("evicted", m.Evictions)
+	add("rejected", m.Rejected)
+	add("failure", m.Failures)
+	add("repair", m.Repairs)
+	add("reservation", m.Reservations)
+	add("backfill", m.Backfills)
+	add("defrag", m.Defrags)
+	add("migration", m.Migrations)
 }

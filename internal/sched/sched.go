@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hammingmesh/internal/alloc"
+	"hammingmesh/internal/obs"
 	"hammingmesh/internal/workload"
 )
 
@@ -88,11 +89,40 @@ type Config struct {
 	// RecordDecisions keeps the full decision log in the metrics (golden
 	// tests and debugging; sweeps leave it off).
 	RecordDecisions bool
+	// Trace, when non-nil, records job lifecycles into the flight
+	// recorder: per-job lanes with queued and run spans, checkpoint and
+	// eviction instants, plus board fail/repair and defrag markers on a
+	// cluster lane. Sim-hours map to trace time as 1 h = 1e6 µs (one
+	// trace second). Recording never perturbs the run — decisions and
+	// metrics stay bit-identical (obs contract, like observer).
+	Trace *obs.Recorder
 
 	// observer, when set (in-package tests only), is called after every
 	// processed event with the live simulation state — the hook behind the
 	// cluster-wide invariant harness.
 	observer func(s *sim, ev event)
+}
+
+// Trace-export constants: the sched pid lane and the hours→trace-µs
+// scale (distinct from netsim's pid lanes so one recorder can hold both).
+const (
+	tracePidSched         = 3
+	traceTidCluster int32 = -1
+	schedTraceScale       = 1e6 // trace µs per simulated hour
+)
+
+// emitSpan records a [from, to] span on a job's lane.
+func (s *sim) emitSpan(tid int32, name string, from, to float64) {
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Span(tracePidSched, tid, name, "job", from*schedTraceScale, (to-from)*schedTraceScale)
+	}
+}
+
+// emitInstant records a point marker (tid traceTidCluster = cluster lane).
+func (s *sim) emitInstant(tid int32, name string, t float64) {
+	if tr := s.cfg.Trace; tr != nil {
+		tr.Instant(tracePidSched, tid, name, t*schedTraceScale)
+	}
 }
 
 // Metrics aggregates one scheduler run.
@@ -319,6 +349,10 @@ func Run(x, y int, trace []TraceJob, failures []FailEvent, cfg Config) (*Metrics
 	}
 	s := &sim{cfg: cfg, grid: alloc.NewGrid(x, y), opts: policyOptions(cfg.Policy),
 		resJob: -1, lastDefragT: math.Inf(-1)}
+	if tr := cfg.Trace; tr != nil {
+		tr.SetProcessName(tracePidSched, "sched")
+		tr.SetThreadName(tracePidSched, traceTidCluster, "cluster")
+	}
 	s.largeBoards = cfg.LargeBoards
 	if s.largeBoards <= 0 {
 		s.largeBoards = x * y / 2
@@ -490,6 +524,7 @@ func (s *sim) start(idx int32, j *jobState, p *alloc.Placement, t float64) {
 	j.runOverheadH = j.overheadPending
 	j.overheadPending = 0
 	j.completeT = t + j.runOverheadH + j.remaining*j.slowdown
+	s.emitSpan(j.tj.ID, "queued", j.queuedAt, t)
 	s.events.push(event{t: j.completeT, kind: evComplete, idx: idx, epoch: j.epoch})
 	s.logf("t=%.4f place job=%d shape=%dx%d rows=%v cols=%v slow=%.4f remaining=%.4f",
 		t, j.tj.ID, p.U(), p.V(), p.Rows, p.Cols, j.slowdown, j.remaining)
@@ -652,6 +687,7 @@ func (s *sim) onComplete(ev event) {
 	s.grid.Release(ev.idx)
 	j.p = nil
 	s.met.Completed++
+	s.emitSpan(j.tj.ID, "run", j.startT, ev.t)
 	s.logf("t=%.4f complete job=%d", ev.t, j.tj.ID)
 	s.trySchedule(ev.t)
 }
@@ -669,6 +705,7 @@ func (s *sim) onFail(ev event) {
 		return
 	}
 	s.met.Failures++
+	s.emitInstant(traceTidCluster, "board-fail", ev.t)
 	victim := s.grid.Fail(bx, by)
 	if s.cfg.RepairH > 0 {
 		s.events.push(event{t: ev.t + s.cfg.RepairH, kind: evRepair, board: ev.board})
@@ -722,6 +759,15 @@ func (s *sim) rollback(idx int32, j *jobState, t float64) float64 {
 	}
 	if ckpt > progress {
 		ckpt = progress
+	}
+	if s.cfg.Trace != nil {
+		s.emitSpan(j.tj.ID, "evicted", j.startT, t)
+		if s.cfg.CheckpointH > 0 && ckpt > 0 {
+			// Wall time of the last completed checkpoint the job restarts
+			// from.
+			s.emitInstant(j.tj.ID, "checkpoint", j.startT+j.runOverheadH+ckpt*j.slowdown)
+		}
+		s.emitInstant(j.tj.ID, "evict", t)
 	}
 	lost := progress - ckpt
 	j.done += ckpt
@@ -785,6 +831,7 @@ func (s *sim) maybeDefrag(t float64) {
 func (s *sim) defrag(t, frag float64, running []int32) {
 	s.lastDefragT = t
 	s.met.Defrags++
+	s.emitInstant(traceTidCluster, "defrag", t)
 	sort.Slice(running, func(a, b int) bool {
 		ja, jb := &s.jobs[running[a]], &s.jobs[running[b]]
 		if ja.tj.Boards != jb.tj.Boards {
@@ -812,6 +859,7 @@ func (s *sim) defrag(t, frag float64, running []int32) {
 func (s *sim) onRepair(ev event) {
 	if s.grid.Repair(ev.board[0], ev.board[1]) {
 		s.met.Repairs++
+		s.emitInstant(traceTidCluster, "board-repair", ev.t)
 		s.logf("t=%.4f repair board=(%d,%d)", ev.t, ev.board[0], ev.board[1])
 		s.trySchedule(ev.t)
 	}

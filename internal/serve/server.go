@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -43,6 +44,13 @@ type Config struct {
 	// Compute overrides the per-request computation (tests); when nil,
 	// a Computer over Pool is used.
 	Compute func(*Canon) ([]byte, error)
+	// Registry is the metrics registry the server registers into; nil
+	// builds a private one. cmd/hxd passes obs.Default() so daemon, pool
+	// and engine series land in one /metrics scrape; tests leave it nil
+	// for isolation.
+	Registry *Registry
+	// Pprof mounts net/http/pprof handlers under /debug/pprof/ when set.
+	Pprof bool
 }
 
 // call is one in-flight computation that concurrent identical requests
@@ -93,7 +101,10 @@ func New(cfg Config) *Server {
 		compute = NewComputer(cfg.Pool).Compute
 	}
 
-	reg := NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	s := &Server{
 		cache:    NewCache(cfg.CacheBytes),
 		metrics:  reg,
@@ -133,6 +144,22 @@ func New(cfg Config) *Server {
 		_, _, _, _, ev := s.cache.Stats()
 		return float64(ev)
 	})
+	if pool := cfg.Pool; pool != nil {
+		// Surface the pool's cluster-compilation cache (PR 7's
+		// SetClusterBudget LRU) on the same scrape as the daemon series.
+		reg.GaugeFunc("hxd_cluster_cache_entries", "", "compiled clusters held by the runner pool", func() float64 {
+			entries, _, _ := pool.CacheStats()
+			return float64(entries)
+		})
+		reg.GaugeFunc("hxd_cluster_cache_bytes", "", "estimated bytes of compiled clusters held by the runner pool", func() float64 {
+			_, bytes, _ := pool.CacheStats()
+			return float64(bytes)
+		})
+		reg.GaugeFunc("hxd_cluster_cache_evictions", "", "compiled clusters evicted from the runner pool cache", func() float64 {
+			_, _, ev := pool.CacheStats()
+			return float64(ev)
+		})
+	}
 
 	s.mux.HandleFunc("POST /v1/experiments", s.handleExperiment)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -143,6 +170,13 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
 	})
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the tracked performance benchmarks and emit a JSON
-# trajectory file (default BENCH_PR6.json) for CI artifacts, so the
+# trajectory file (default BENCH_PR8.json) for CI artifacts, so the
 # ns/op, allocs/op and events/op of the hot paths are comparable across
 # PRs:
 #
 #   PacketSim            raw packet-engine throughput (Reset-reuse path)
 #   PacketSimQueue/*     calendar queue vs the reference 4-ary heap
 #   PacketSimShards/*    sharded parallel engine at 1/2/4/8 shards
+#   TraceOverhead/off|on instrumentation cost: off must be 0 allocs/op
 #   AlltoallSweep        pooled packet-level alltoall shift sweep
 #   AlltoallSweepFaulted the same sweep on a 10%-degraded fabric
 #   FlowSolverLarge      flow-level alltoall on the 16,384-endpoint Hx2Mesh
@@ -24,16 +25,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 raw="bench-raw.txt"
 args=(-run '^$'
-  -bench 'BenchmarkPacketSim$|BenchmarkPacketSimQueue$|BenchmarkPacketSimShards$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
+  -bench 'BenchmarkPacketSim$|BenchmarkPacketSimQueue$|BenchmarkPacketSimShards$|BenchmarkTraceOverhead$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
   -benchmem -benchtime "${BENCHTIME:-1x}")
 if [ "${SHORT:-1}" = "1" ]; then
   args+=(-short)
 fi
 
 go test "${args[@]}" . | tee "$raw"
+
+# Hard gate (obs zero-overhead contract): with instrumentation off the
+# steady-state packet engine must not allocate.
+grep -E 'BenchmarkTraceOverhead/off.*[[:space:]]0 B/op' "$raw" >/dev/null || {
+  echo "BenchmarkTraceOverhead/off allocated — obs off is no longer free"; exit 1; }
 
 # The daemon-path benchmarks (hxd serving layer) ride along in the same
 # trajectory file: req/s for the cache-hit and full-miss paths.

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # hxd_smoke.sh — end-to-end smoke of the hxd daemon over real HTTP:
-# build the binary, start it on an ephemeral port, POST the same
-# experiment twice and require the second response to be a byte-identical
-# cache hit, scrape /metrics, then SIGTERM and require a graceful exit.
+# build the binary, start it on an ephemeral port (with -pprof mounted),
+# POST the same experiment twice and require the second response to be a
+# byte-identical cache hit, scrape /metrics — including the pool/engine
+# series the unified obs registry adds — curl a pprof endpoint, validate
+# an hxsim -trace flight recording as JSON, then SIGTERM and require a
+# graceful exit.
 #
 # Usage:
 #   tools/hxd_smoke.sh
@@ -21,7 +24,7 @@ echo "== build"
 go build -o "$workdir/hxd" ./cmd/hxd
 
 echo "== start"
-"$workdir/hxd" -addr 127.0.0.1:0 -workers 2 >"$workdir/stdout.log" 2>&1 &
+"$workdir/hxd" -addr 127.0.0.1:0 -workers 2 -pprof >"$workdir/stdout.log" 2>&1 &
 hxd_pid=$!
 
 addr=""
@@ -57,6 +60,28 @@ curl -sS "$base/metrics" >"$workdir/metrics.txt"
 for m in 'hxd_cache_hits_total 1' 'hxd_computations_total 1' 'hxd_requests_total{kind="allreduce",status="ok"} 2'; do
   grep -qF "$m" "$workdir/metrics.txt" || { echo "metrics missing: $m"; cat "$workdir/metrics.txt"; exit 1; }
 done
+
+echo "== engine + pool series on the unified registry"
+# A packet-level experiment drives the runner pool and the netsim engine,
+# whose instruments land on the same /metrics page (obs promotion). This
+# POST comes after the exact-count checks above so their counts hold.
+req='{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","shifts":2}'
+post r3
+grep -qi '^HTTP/.* 200' "$workdir/r3.hdr" || { cat "$workdir/r3.hdr" "$workdir/r3.body"; exit 1; }
+curl -sS "$base/metrics" >"$workdir/metrics2.txt"
+for m in hxd_cluster_cache_entries netsim_events_total runner_jobs_total runner_job_seconds_count; do
+  grep -q "^$m" "$workdir/metrics2.txt" || { echo "metrics missing: $m"; cat "$workdir/metrics2.txt"; exit 1; }
+done
+
+echo "== pprof"
+curl -sSf "$base/debug/pprof/cmdline" >/dev/null || { echo "pprof not mounted under -pprof"; exit 1; }
+
+echo "== hxsim -trace flight recording"
+go build -o "$workdir/hxsim" ./cmd/hxsim
+"$workdir/hxsim" -topo hx2mesh -size tiny -pattern alltoall -shifts 2 -bytes 32768 \
+  -sim-shards 2 -trace "$workdir/trace.json" >/dev/null
+python3 -mjson.tool "$workdir/trace.json" >/dev/null || { echo "hxsim -trace wrote invalid JSON"; exit 1; }
+grep -q '"ph":"X"' "$workdir/trace.json" || { echo "trace has no spans"; exit 1; }
 
 echo "== /healthz"
 curl -sSf "$base/healthz"
