@@ -31,14 +31,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"hammingmesh/internal/core"
 	"hammingmesh/internal/obs"
@@ -75,6 +78,8 @@ func main() {
 	defragList := flag.String("defrag", "0", "sched: fragmentation thresholds triggering checkpoint-migrate defrag (0 = off)")
 	defragCost := flag.Float64("defrag-cost", 0.1, "sched: checkpoint-transfer overhead per migrated job, hours")
 	traceOut := flag.String("trace-out", "", "sched: write a Chrome trace-event JSON flight recording of one representative run to this file (open in Perfetto); -trace stays the input trace file")
+	journalDir := flag.String("journal", "", "sched: checkpoint directory — completed sweep points are journaled crash-safely and rerunning the same command resumes")
+	journalCrash := flag.String("journal-crash", "", "crash-injection plan <point>:<n> — die mid-write at that journal boundary (testing; see internal/journal)")
 	flag.Parse()
 
 	d := workload.AlibabaLike()
@@ -103,8 +108,13 @@ func main() {
 			policies: *policyList, trials: *trials, seed: *seed, traceFile: *traceFile,
 			reserves: *reserveList, bursts: *burstList, burstShape: *burstShape,
 			defrags: *defragList, defragCost: *defragCost, traceOut: *traceOut,
+			journalDir: *journalDir, journalCrash: *journalCrash,
 		})
 		return
+	}
+	if *journalDir != "" {
+		fmt.Fprintln(os.Stderr, "hxalloc: -journal only applies to -mode sched")
+		os.Exit(2)
 	}
 	if *mode != "fig8" {
 		fmt.Fprintf(os.Stderr, "bad -mode %q (fig8|sched)\n", *mode)
@@ -155,6 +165,7 @@ type schedFlags struct {
 	mtbfs, ckpts, policies, traceFile string
 	reserves, bursts, burstShape      string
 	defrags, traceOut                 string
+	journalDir, journalCrash          string
 	defragCost                        float64
 	trials                            int
 	seed                              int64
@@ -213,8 +224,34 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 			fatalf("%v", err)
 		}
 	}
-	pts, err := pool.SchedSweep(c, cfg)
+	// SIGINT/SIGTERM cancel the sweep: in-flight points finish and are
+	// journaled, the rest of the grid is skipped, and rerunning the same
+	// command resumes from the checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var ck *runner.Checkpoint
+	if f.journalDir != "" {
+		var err error
+		ck, err = runner.OpenCheckpointCLI(f.journalDir, f.journalCrash, cfg.Fingerprint(c))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer ck.Close()
+		if n := ck.Len(); n > 0 {
+			fmt.Printf("journal: resuming from %s, %d completed points loaded\n", f.journalDir, n)
+		}
+	}
+	pts, err := pool.SchedSweepJournaled(ctx, c, cfg, ck)
 	if err != nil {
+		if ctx.Err() != nil {
+			if ck != nil {
+				ck.Close()
+				fmt.Fprintln(os.Stderr, "hxalloc: interrupted; completed points are journaled — rerun the same command to resume")
+			} else {
+				fmt.Fprintln(os.Stderr, "hxalloc: interrupted")
+			}
+			os.Exit(130)
+		}
 		fatalf("%v", err)
 	}
 	fmt.Printf("scheduler sweep: %dx%d boards, horizon %gh, repair %gh, burst shape %dx%d, %d trials, %d workers\n\n",

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"hammingmesh/internal/journal"
 	"hammingmesh/internal/obs"
 	"hammingmesh/internal/runner"
 	"hammingmesh/internal/serve"
@@ -49,6 +50,8 @@ func main() {
 	queueLen := flag.Int("queue", serve.DefaultQueueLen, "pending-request queue bound; beyond it requests get 429")
 	drainWait := flag.Duration("drain-wait", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	journalDir := flag.String("journal-dir", "", "durable job journal directory: accepted requests and results survive a crash; on restart results rewarm the cache and unserved requests re-run")
+	journalCrash := flag.String("journal-crash", "", "crash-injection plan <point>:<n> — die mid-write at that journal boundary (testing; see internal/journal)")
 	flag.Parse()
 
 	pool := runner.NewSeeded(*workers, *seed)
@@ -60,15 +63,37 @@ func main() {
 	// the one /metrics page.
 	reg := obs.Default()
 	pool.EnableObs(reg)
-	s := serve.New(serve.Config{
-		Pool:       pool,
-		Registry:   reg,
-		CacheBytes: *cacheBytes,
-		QueueLen:   *queueLen,
-		BatchSize:  *batchSize,
-		MaxWait:    *maxWait,
-		Pprof:      *pprofFlag,
+	var jopts journal.Options
+	if *journalCrash != "" {
+		plan, err := journal.ParseCrashPlan(*journalCrash)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hxd: %v\n", err)
+			os.Exit(2)
+		}
+		// A real process death at the boundary, not an in-process error:
+		// the restart path must recover exactly as from a SIGKILL.
+		plan.Fire = func() error { os.Exit(3); return nil }
+		jopts.Crash = plan
+	}
+	s, err := serve.New(serve.Config{
+		Pool:           pool,
+		Registry:       reg,
+		CacheBytes:     *cacheBytes,
+		QueueLen:       *queueLen,
+		BatchSize:      *batchSize,
+		MaxWait:        *maxWait,
+		Pprof:          *pprofFlag,
+		JournalDir:     *journalDir,
+		JournalOptions: jopts,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hxd: %v\n", err)
+		os.Exit(1)
+	}
+	if *journalDir != "" {
+		fmt.Printf("hxd journal: %d results rewarmed, %d pending requests replaying\n",
+			s.ReplayedResults, s.ReplayedPending)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

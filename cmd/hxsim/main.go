@@ -33,12 +33,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strconv"
+	"syscall"
 
 	"hammingmesh/internal/core"
 	"hammingmesh/internal/netsim"
@@ -62,6 +65,8 @@ func main() {
 	failSeed := flag.Int64("fail-seed", 1, "seed of the fault samplers")
 	trials := flag.Int("trials", 3, "seeded fault trials per resilience point")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON flight recording of one representative packet simulation to this file (open in Perfetto)")
+	journalDir := flag.String("journal", "", "checkpoint directory for the resilience sweep: completed points are journaled crash-safely and rerunning the same command resumes")
+	journalCrash := flag.String("journal-crash", "", "crash-injection plan <point>:<n> — die mid-write at that journal boundary (testing; see internal/journal)")
 	flag.Parse()
 
 	pool := runner.NewSeeded(*parallel, *seed)
@@ -94,6 +99,11 @@ func main() {
 		defer func() { writeTrace(c, cfg, *bytes, *traceOut) }()
 	}
 
+	if *journalDir != "" && *pattern != "resilience" {
+		fmt.Fprintln(os.Stderr, "hxsim: -journal only applies to the resilience sweep")
+		os.Exit(2)
+	}
+
 	if *pattern == "resilience" {
 		maxFrac := *failLinks
 		if maxFrac <= 0 {
@@ -104,8 +114,35 @@ func main() {
 		for i := 0; i < steps; i++ {
 			fracs = append(fracs, maxFrac*float64(i)/(steps-1))
 		}
-		pts, err := pool.ResilienceSweep(c, cfg, *bytes, fracs, *trials, *shifts, *failSeed, *failBoards)
+		// SIGINT/SIGTERM cancel the sweep: in-flight points finish and are
+		// journaled, the rest of the grid is skipped, and rerunning the
+		// same command resumes from the checkpoint.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		var ck *runner.Checkpoint
+		if *journalDir != "" {
+			fp := runner.ResilienceFingerprint(c, cfg, *bytes, fracs, *trials, *shifts, *failSeed, *failBoards)
+			ck, err = runner.OpenCheckpointCLI(*journalDir, *journalCrash, fp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer ck.Close()
+			if n := ck.Len(); n > 0 {
+				fmt.Printf("journal: resuming from %s, %d completed points loaded\n", *journalDir, n)
+			}
+		}
+		pts, err := pool.ResilienceSweepJournaled(ctx, c, cfg, *bytes, fracs, *trials, *shifts, *failSeed, *failBoards, ck)
 		if err != nil {
+			if ctx.Err() != nil {
+				if ck != nil {
+					ck.Close()
+					fmt.Fprintln(os.Stderr, "hxsim: interrupted; completed points are journaled — rerun the same command to resume")
+				} else {
+					fmt.Fprintln(os.Stderr, "hxsim: interrupted")
+				}
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

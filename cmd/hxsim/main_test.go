@@ -126,3 +126,59 @@ func TestHxsimTrace(t *testing.T) {
 		}
 	}
 }
+
+// The crash-resume contract at the process level: a resilience sweep
+// killed by a real process death (-journal-crash fires os.Exit mid-write)
+// at several distinct journal write boundaries resumes from its journal
+// to byte-identical output vs an uninterrupted run.
+func TestHxsimJournalCrashResume(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	args := []string{"-topo", "hx2mesh", "-size", "tiny", "-pattern", "resilience",
+		"-trials", "2", "-shifts", "2", "-bytes", "32768"}
+
+	// sweepTable strips the journal status lines, which legitimately
+	// differ between a fresh and a resumed run.
+	sweepTable := func(out string) string {
+		var keep []string
+		for _, ln := range strings.Split(out, "\n") {
+			if strings.HasPrefix(ln, "journal: resuming") {
+				continue
+			}
+			keep = append(keep, ln)
+		}
+		return strings.Join(keep, "\n")
+	}
+	want := sweepTable(cmdtest.Run(t, bin, args...))
+
+	// Rotation boundaries need tiny segments and are covered by the
+	// in-process tests (internal/runner); at the CLI's default segment
+	// size the sweep never rotates.
+	for _, plan := range []string{"torn-write:2", "before-sync:1", "before-append:3"} {
+		t.Run(plan, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "journal")
+			crashed := cmdtest.RunExpectError(t, bin,
+				append(args, "-journal", dir, "-journal-crash", plan)...)
+			if strings.Contains(crashed, "resilience sweep (") {
+				t.Fatalf("crashed run still printed the full sweep:\n%s", crashed)
+			}
+			resumed := cmdtest.Run(t, bin, append(args, "-journal", dir)...)
+			cmdtest.MustContain(t, resumed, "journal: resuming")
+			if got := sweepTable(resumed); got != want {
+				t.Fatalf("resumed output differs from uninterrupted run (crash %s):\nwant:\n%s\ngot:\n%s", plan, want, got)
+			}
+		})
+	}
+
+	// A journal bound to different sweep parameters refuses to resume.
+	dir := filepath.Join(t.TempDir(), "journal")
+	cmdtest.Run(t, bin, append(args, "-journal", dir)...)
+	out := cmdtest.RunExpectError(t, bin, "-topo", "hx2mesh", "-size", "tiny",
+		"-pattern", "resilience", "-trials", "3", "-shifts", "2", "-bytes", "32768",
+		"-journal", dir)
+	cmdtest.MustContain(t, out, "different sweep")
+
+	// -journal on a non-sweep pattern is a usage error.
+	cmdtest.RunExpectError(t, bin, "-topo", "hx2mesh", "-size", "tiny",
+		"-pattern", "alltoall", "-journal", dir)
+}

@@ -22,7 +22,10 @@ import (
 func main() {
 	// The daemon core: canonicalize → SHA-256 content address → LRU
 	// result cache → singleflight → batch onto the runner pool.
-	s := serve.New(serve.Config{Pool: runner.New(0), CacheBytes: 1 << 20})
+	s, err := serve.New(serve.Config{Pool: runner.New(0), CacheBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()

@@ -1,0 +1,23 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// KeyOf is the content-address helper the checkpoint layers share (the
+// same canonicalize-then-SHA-256 discipline as hxd's request addresses):
+// v marshals to JSON — callers pass a dedicated fingerprint struct whose
+// declared field order is its canonical order — and the hex SHA-256 of
+// those bytes is the key. Two configs share a key iff their fingerprints
+// marshal identically.
+func KeyOf(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("journal: fingerprint marshal: %v", err)) // fixed structs, cannot fail
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

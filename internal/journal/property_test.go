@@ -1,0 +1,145 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Property test for torn-tail recovery: write a journal, corrupt it at a
+// random offset — truncation (a torn write) or a bit flip (media damage /
+// partial sector) — and require that Open (a) never panics or errors,
+// (b) replays a prefix of the original records, (c) replays the longest
+// prefix consistent with the damage (every record strictly before the
+// damaged byte survives), and (d) accepts appends afterwards that
+// round-trip through one more recovery.
+func TestTornTailRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			dir := t.TempDir()
+			segBytes := int64(128 + rng.Intn(512))
+			o := Options{SegmentBytes: segBytes, NoSync: true}
+			l, _, err := Open(dir, o, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 1 + rng.Intn(40)
+			var originals [][]byte
+			for i := 0; i < n; i++ {
+				r := make([]byte, 1+rng.Intn(120))
+				rng.Read(r)
+				originals = append(originals, r)
+				if err := l.Append(r); err != nil {
+					t.Fatalf("append %d: %v", i, err)
+				}
+			}
+			l.Close()
+
+			// Pick a victim segment and offset; record where each record
+			// ends so the "longest valid prefix" bound is checkable.
+			segs, err := segIndices(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// recEnd[i] = (segment index, end offset) of record i.
+			type pos struct {
+				seg int
+				end int64
+			}
+			ends := make([]pos, 0, n)
+			{
+				off := int64(len(magic))
+				si := 0
+				// Re-derive framing by replaying sizes against the
+				// rotation rule the writer uses.
+				for _, r := range originals {
+					frame := int64(frameHeader + len(r))
+					if off > int64(len(magic)) && off+frame > segBytes {
+						si++
+						off = int64(len(magic))
+					}
+					off += frame
+					ends = append(ends, pos{si, off})
+				}
+				if si != segs[len(segs)-1] {
+					t.Fatalf("segment layout model out of sync: derived %d, on disk %d", si, segs[len(segs)-1])
+				}
+			}
+
+			victimSeg := segs[rng.Intn(len(segs))]
+			path := filepath.Join(dir, segName(victimSeg))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("empty segment file %s", path)
+			}
+			corruptAt := rng.Intn(len(data))
+			truncate := rng.Intn(2) == 0
+			if truncate {
+				data = data[:corruptAt]
+			} else {
+				data[corruptAt] ^= 1 << uint(rng.Intn(8))
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Every record that ends strictly before the damaged byte in
+			// an earlier-or-same segment must survive.
+			mustSurvive := 0
+			for i, p := range ends {
+				if p.seg < victimSeg || (p.seg == victimSeg && p.end <= int64(corruptAt)) {
+					mustSurvive = i + 1
+				}
+			}
+
+			var recs [][]byte
+			l2, st, err := Open(dir, o, func(rec []byte) error {
+				recs = append(recs, append([]byte(nil), rec...))
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("recovery errored on a crash artifact: %v", err)
+			}
+			if len(recs) > n {
+				t.Fatalf("recovered %d records from a %d-record journal", len(recs), n)
+			}
+			for i, r := range recs {
+				if !bytes.Equal(r, originals[i]) {
+					t.Fatalf("recovered record %d is not a prefix of the original sequence", i)
+				}
+			}
+			if len(recs) < mustSurvive {
+				t.Fatalf("recovered %d records, but %d end before the damage (seg %d offset %d, truncate=%v, stats %+v)",
+					len(recs), mustSurvive, victimSeg, corruptAt, truncate, st)
+			}
+
+			// Re-append after recovery round-trips through another open.
+			post := []byte("post-damage")
+			if err := l2.Append(post); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			l2.Close()
+			var recs2 [][]byte
+			l3, _, err := Open(dir, o, func(rec []byte) error {
+				recs2 = append(recs2, append([]byte(nil), rec...))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l3.Close()
+			if len(recs2) != len(recs)+1 || !bytes.Equal(recs2[len(recs)], post) {
+				t.Fatalf("post-recovery append did not round-trip: %d vs %d records", len(recs2), len(recs)+1)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hammingmesh/internal/journal"
+)
+
+// Checkpoint is a crash-safe sweep checkpoint over a journal.Log: a
+// durable map from deterministic per-point keys to JSON-encoded results.
+// The journal's first record is a meta record binding the checkpoint to
+// one sweep fingerprint (the canonicalize-then-hash discipline of hxd's
+// content addresses), so a journal directory can never silently mix
+// points of two different sweeps; every later record is one completed
+// point, appended (and fsync'd) the moment it finishes. Reopening after a
+// crash replays the completed points — the journal layer truncates any
+// torn tail — and the sweep re-runs only what is missing.
+type Checkpoint struct {
+	log      *journal.Log
+	sweepKey string
+	done     map[string][]byte
+	// Stats is the journal recovery report of the open (tests, CLIs).
+	Stats journal.Stats
+}
+
+// Checkpoint record types.
+const (
+	ckptMeta  = 1 // payload: sweep fingerprint (hex string)
+	ckptPoint = 2 // payload: u32 key length, key, value JSON
+)
+
+// OpenCheckpoint opens (or creates) a sweep checkpoint in dir. sweepKey
+// is the sweep's fingerprint (see SchedSweepConfig.Fingerprint /
+// ResilienceFingerprint — or any journal.KeyOf of a canonical config):
+// a fresh checkpoint journals it; an existing one must match, so resuming
+// with different parameters fails loudly instead of splicing foreign
+// points into the grid.
+func OpenCheckpoint(dir, sweepKey string, o journal.Options) (*Checkpoint, error) {
+	ck := &Checkpoint{sweepKey: sweepKey, done: make(map[string][]byte)}
+	var storedKey string
+	log, stats, err := journal.Open(dir, o, func(rec []byte) error {
+		if len(rec) < 1 {
+			return fmt.Errorf("runner: checkpoint record with no type byte")
+		}
+		switch rec[0] {
+		case ckptMeta:
+			storedKey = string(rec[1:])
+		case ckptPoint:
+			key, val, err := decodePoint(rec)
+			if err != nil {
+				return err
+			}
+			ck.done[key] = val
+		default:
+			return fmt.Errorf("runner: unknown checkpoint record type %d", rec[0])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ck.log, ck.Stats = log, stats
+	if storedKey == "" {
+		// Fresh (or crashed-before-meta) journal: bind it now.
+		if err := log.Append(append([]byte{ckptMeta}, sweepKey...)); err != nil {
+			log.Close()
+			return nil, err
+		}
+	} else if storedKey != sweepKey {
+		log.Close()
+		return nil, fmt.Errorf("runner: checkpoint %s belongs to a different sweep (journaled fingerprint %.12s…, this sweep %.12s…); use a fresh -journal directory or rerun the original command", dir, storedKey, sweepKey)
+	}
+	return ck, nil
+}
+
+func encodePoint(key string, val []byte) []byte {
+	rec := make([]byte, 0, 5+len(key)+len(val))
+	rec = append(rec, ckptPoint)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(key)))
+	rec = append(rec, key...)
+	return append(rec, val...)
+}
+
+func decodePoint(rec []byte) (string, []byte, error) {
+	if len(rec) < 5 {
+		return "", nil, fmt.Errorf("runner: short checkpoint point record")
+	}
+	n := binary.LittleEndian.Uint32(rec[1:5])
+	if int(n) > len(rec)-5 {
+		return "", nil, fmt.Errorf("runner: checkpoint point key length %d exceeds record", n)
+	}
+	key := string(rec[5 : 5+n])
+	val := append([]byte(nil), rec[5+n:]...)
+	return key, val, nil
+}
+
+// Done returns the journaled value for a point key, if the point already
+// completed in a previous run.
+func (ck *Checkpoint) Done(key string) ([]byte, bool) {
+	v, ok := ck.done[key]
+	return v, ok
+}
+
+// Len is the number of completed points loaded at open.
+func (ck *Checkpoint) Len() int { return len(ck.done) }
+
+// Put journals one completed point. Durable when it returns; safe for
+// concurrent use (the journal serializes appends).
+func (ck *Checkpoint) Put(key string, val []byte) error {
+	return ck.log.Append(encodePoint(key, val))
+}
+
+// Close seals the journal.
+func (ck *Checkpoint) Close() error { return ck.log.Close() }
+
+// OpenCheckpointCLI is OpenCheckpoint for the command-line tools' flag
+// pair -journal / -journal-crash: fsync'd appends (a kill -9 after any
+// point completes loses nothing), and a non-empty crashSpec
+// ("<point>:<n>", journal.ParseCrashPlan) arms an injected crash whose
+// Fire is a real process death via os.Exit(3) — the recovery the tests
+// then drive is exactly the SIGKILL path.
+func OpenCheckpointCLI(dir, crashSpec, fingerprint string) (*Checkpoint, error) {
+	var o journal.Options
+	if crashSpec != "" {
+		plan, err := journal.ParseCrashPlan(crashSpec)
+		if err != nil {
+			return nil, err
+		}
+		plan.Fire = func() error { os.Exit(3); return nil }
+		o.Crash = plan
+	}
+	return OpenCheckpoint(dir, fingerprint, o)
+}
+
+// RunJournaled executes jobs like RunCtx, with crash-safe resume: jobs
+// whose key is already in the checkpoint are not re-run — a no-op job
+// returns the decoded journaled value instead — and every freshly
+// completed job's value is journaled as it finishes. T is the result
+// type; job Run functions must return *T (and the sweeps that use this
+// do), which JSON round-trips bit-exactly for the finite floats and
+// integers the sweeps produce.
+//
+// The full jobs slice is always submitted (replayed entries as no-ops),
+// so Ctx.Index and the per-job seeds are identical between a fresh run
+// and a resumed one — part of the byte-identical-resume contract.
+// A nil ck degrades to plain RunCtx.
+func RunJournaled[T any](p *Pool, ctx context.Context, jobs []Job, keys []string, ck *Checkpoint) ([]Result, error) {
+	if ck == nil {
+		return p.RunCtx(ctx, jobs), nil
+	}
+	if len(keys) != len(jobs) {
+		return nil, fmt.Errorf("runner: RunJournaled got %d keys for %d jobs", len(keys), len(jobs))
+	}
+	wrapped := make([]Job, len(jobs))
+	for i := range jobs {
+		i := i
+		if b, ok := ck.Done(keys[i]); ok {
+			v := new(T)
+			if err := json.Unmarshal(b, v); err != nil {
+				return nil, fmt.Errorf("runner: checkpoint decode %q: %w", keys[i], err)
+			}
+			wrapped[i] = Job{Name: jobs[i].Name, Run: func(*Ctx) (any, error) { return v, nil }}
+			continue
+		}
+		orig := jobs[i].Run
+		wrapped[i] = Job{Name: jobs[i].Name, Run: func(c *Ctx) (any, error) {
+			v, err := orig(c)
+			if err != nil {
+				return v, err
+			}
+			b, err := json.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("runner: checkpoint encode %q: %w", keys[i], err)
+			}
+			if err := ck.Put(keys[i], b); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}}
+	}
+	return p.RunCtx(ctx, wrapped), nil
+}

@@ -1,0 +1,68 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"hammingmesh/internal/journal"
+	"hammingmesh/internal/sched"
+)
+
+// BenchmarkSweepResume is the tools/bench.sh trajectory for crash-safe
+// checkpointing: "fresh" runs a small journaled scheduler sweep end to
+// end (checkpoint append overhead included), "resumed" opens a
+// fully-journaled checkpoint of the same sweep and replays every point
+// without computing. The gap between the two is the wall time a restart
+// recovers for free.
+func BenchmarkSweepResume(b *testing.B) {
+	cfg := schedSweepTestConfig()
+	cfg.Trace.Jobs = 40
+	cfg.MTBFs = []float64{0, 30}
+	cfg.Trials = 2
+	cfg.Policies = []sched.Policy{sched.FirstFit}
+
+	pool := NewSeeded(4, 1)
+	c, err := pool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := cfg.Fingerprint(c)
+	o := journal.Options{NoSync: true}
+
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dir := b.TempDir()
+			ck, err := OpenCheckpoint(dir, fp, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pool.SchedSweepJournaled(context.Background(), c, cfg, ck); err != nil {
+				b.Fatal(err)
+			}
+			ck.Close()
+		}
+	})
+
+	b.Run("resumed", func(b *testing.B) {
+		dir := b.TempDir()
+		ck, err := OpenCheckpoint(dir, fp, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pool.SchedSweepJournaled(context.Background(), c, cfg, ck); err != nil {
+			b.Fatal(err)
+		}
+		ck.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ck, err := OpenCheckpoint(dir, fp, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pool.SchedSweepJournaled(context.Background(), c, cfg, ck); err != nil {
+				b.Fatal(err)
+			}
+			ck.Close()
+		}
+	})
+}

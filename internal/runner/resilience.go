@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"hammingmesh/internal/core"
 	"hammingmesh/internal/faults"
+	"hammingmesh/internal/journal"
 	"hammingmesh/internal/netsim"
 )
 
@@ -29,11 +31,38 @@ type ResiliencePoint struct {
 	Trials int
 }
 
-// resilienceTrial is one (fraction, trial) job's result.
+// resilienceTrial is one (fraction, trial) job's result. Fields are
+// exported (and jobs return pointers) so checkpoints can JSON round-trip
+// it bit-exactly.
 type resilienceTrial struct {
-	share    float64
-	makespan float64
-	links    int
+	Share    float64
+	Makespan float64
+	Links    int
+}
+
+// ResilienceFingerprint canonicalizes a resilience sweep's full parameter
+// set into a content hash for checkpoint binding (see
+// SchedSweepConfig.Fingerprint). Runtime-only Config fields — Metrics,
+// Trace — are excluded; they never change results (obs contract).
+func ResilienceFingerprint(c *core.Cluster, cfg netsim.Config, bytes int64, fracs []float64, trials, shifts int, seed int64, boards int) string {
+	cfg.Metrics = nil
+	cfg.Trace = nil
+	return journal.KeyOf(struct {
+		Kind   string
+		Family string
+		Nodes  int
+		Net    netsim.Config
+		Bytes  int64
+		Fracs  []float64
+		Trials int
+		Shifts int
+		Seed   int64
+		Boards int
+	}{
+		Kind: "resilience-sweep", Family: string(c.Net.Meta.Family),
+		Nodes: c.Comp.NumEndpoints(), Net: cfg, Bytes: bytes, Fracs: fracs,
+		Trials: trials, Shifts: shifts, Seed: seed, Boards: boards,
+	})
 }
 
 // ResilienceSweep measures graceful degradation (§III-E): for each
@@ -53,6 +82,17 @@ type resilienceTrial struct {
 // highest fraction (a first round of pool jobs) and lower fractions replay
 // prefixes of it, instead of re-validating every cable per point.
 func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, fracs []float64, trials, shifts int, seed int64, boards int) ([]ResiliencePoint, error) {
+	return p.ResilienceSweepJournaled(context.Background(), c, cfg, bytes, fracs, trials, shifts, seed, boards, nil)
+}
+
+// ResilienceSweepJournaled is ResilienceSweep with cancellation and
+// crash-safe resume: with a non-nil checkpoint (opened against
+// ResilienceFingerprint) each completed (fraction, trial) result is
+// journaled as it finishes and skipped on rerun, and a killed-and-resumed
+// sweep aggregates byte-identical points to an uninterrupted one. The
+// per-trial connectivity-BFS round is deterministic from the seed and is
+// recomputed rather than journaled.
+func (p *Pool) ResilienceSweepJournaled(ctx context.Context, c *core.Cluster, cfg netsim.Config, bytes int64, fracs []float64, trials, shifts int, seed int64, boards int, ck *Checkpoint) ([]ResiliencePoint, error) {
 	if trials <= 0 {
 		trials = 1
 	}
@@ -89,7 +129,7 @@ func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, 
 			},
 		}
 	}
-	seqResults := p.Run(seqJobs)
+	seqResults := p.RunCtx(ctx, seqJobs)
 	if err := FirstErr(seqResults); err != nil {
 		return nil, err
 	}
@@ -136,16 +176,23 @@ func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, 
 						sumMk += res.Makespan
 					}
 					n := float64(len(sampled))
-					return resilienceTrial{
-						share:    sumShare / n,
-						makespan: sumMk / n,
-						links:    len(prefix),
+					return &resilienceTrial{
+						Share:    sumShare / n,
+						Makespan: sumMk / n,
+						Links:    len(prefix),
 					}, nil
 				},
 			})
 		}
 	}
-	results := p.Run(jobs)
+	ckKeys := make([]string, len(jobs))
+	for i := range jobs {
+		ckKeys[i] = jobs[i].Name
+	}
+	results, err := RunJournaled[resilienceTrial](p, ctx, jobs, ckKeys, ck)
+	if err != nil {
+		return nil, err
+	}
 	if err := FirstErr(results); err != nil {
 		return nil, err
 	}
@@ -153,12 +200,12 @@ func (p *Pool) ResilienceSweep(c *core.Cluster, cfg netsim.Config, bytes int64, 
 	for fi, frac := range fracs {
 		pt := ResiliencePoint{FailFrac: frac, Trials: trials}
 		for tr := 0; tr < trials; tr++ {
-			t := results[fi*trials+tr].Value.(resilienceTrial)
-			pt.Share += t.share / float64(trials)
-			pt.Makespan += t.makespan / float64(trials)
-			pt.FailedLinks += float64(t.links) / float64(trials)
-			if tr == 0 || t.share < pt.MinShare {
-				pt.MinShare = t.share
+			t := results[fi*trials+tr].Value.(*resilienceTrial)
+			pt.Share += t.Share / float64(trials)
+			pt.Makespan += t.Makespan / float64(trials)
+			pt.FailedLinks += float64(t.Links) / float64(trials)
+			if tr == 0 || t.Share < pt.MinShare {
+				pt.MinShare = t.Share
 			}
 		}
 		points[fi] = pt

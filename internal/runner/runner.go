@@ -12,6 +12,7 @@ package runner
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -249,7 +250,15 @@ func JobSeed(baseSeed int64, i int) int64 {
 // Run executes the jobs on the pool's workers and returns their results in
 // submission order. It blocks until every job finishes; job errors are
 // reported per-result, not returned.
-func (p *Pool) Run(jobs []Job) []Result {
+func (p *Pool) Run(jobs []Job) []Result { return p.RunCtx(context.Background(), jobs) }
+
+// RunCtx is Run with cancellation: once ctx is done, jobs not yet handed
+// to a worker are not started — their results carry ctx.Err() — while
+// jobs already executing run to completion. An interrupted sweep therefore
+// stops after the in-flight jobs instead of draining the whole grid,
+// which is what makes Ctrl-C on a journaled multi-hour sweep prompt: the
+// completed points are on disk and the rest of the grid is skipped.
+func (p *Pool) RunCtx(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -291,8 +300,22 @@ func (p *Pool) Run(jobs []Job) []Result {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := range jobs {
-		next <- i
+		// next is unbuffered: a successful send means a worker took the
+		// job, so every index not sent is genuinely not started.
+		select {
+		case next <- i:
+		case <-done:
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Name: jobs[j].Name, Err: ctx.Err()}
+			}
+			if o {
+				p.queued.Add(-int64(len(jobs) - i))
+			}
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()

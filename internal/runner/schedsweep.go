@@ -1,9 +1,11 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"hammingmesh/internal/core"
+	"hammingmesh/internal/journal"
 	"hammingmesh/internal/sched"
 )
 
@@ -94,6 +96,44 @@ type SchedPoint struct {
 	Trials              int
 }
 
+// Fingerprint canonicalizes the sweep — cluster shape, trace, base config
+// scalars, every axis, trials and seed — into a content hash (the hxd
+// canonicalize-then-hash discipline), used by checkpoints to refuse
+// resuming a journal under different parameters. Base.Slowdown is
+// excluded: it is an interface; the sweeps derive it deterministically
+// from the cluster shape when nil, and callers that install a custom one
+// are expected to keep it fixed across resume (it is config code, not
+// data).
+func (cfg SchedSweepConfig) Fingerprint(c *core.Cluster) string {
+	base := cfg.Base
+	base.Slowdown = nil
+	base.Trace = nil
+	return journal.KeyOf(struct {
+		Kind             string
+		Family           string
+		A, B, X, Y       int
+		Trace            sched.TraceConfig
+		FixedTrace       []sched.TraceJob
+		Base             sched.Config
+		MTBFs            []float64
+		CheckpointsH     []float64
+		Policies         []sched.Policy
+		Reservations     []bool
+		BurstRates       []float64
+		Burst            sched.BurstShape
+		DefragThresholds []float64
+		Trials           int
+		Seed             int64
+	}{
+		Kind: "sched-sweep", Family: string(c.Net.Meta.Family),
+		A: c.Hx.Cfg.A, B: c.Hx.Cfg.B, X: c.Grid.X, Y: c.Grid.Y,
+		Trace: cfg.Trace, FixedTrace: cfg.FixedTrace, Base: base,
+		MTBFs: cfg.MTBFs, CheckpointsH: cfg.CheckpointsH, Policies: cfg.Policies,
+		Reservations: cfg.Reservations, BurstRates: cfg.BurstRates, Burst: cfg.Burst,
+		DefragThresholds: cfg.DefragThresholds, Trials: cfg.Trials, Seed: cfg.Seed,
+	})
+}
+
 // SchedSweep runs the scheduler sweep on the pool, one job per (point,
 // trial), and returns the points in (policy, checkpoint, reservation,
 // defrag, burst, MTBF) list order — MTBF innermost, so each consecutive
@@ -104,6 +144,19 @@ type SchedPoint struct {
 // MTBF values (sched.Failures) and burst rates (sched.Bursts), which makes
 // the goodput curve of each group measure monotone degradation.
 func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, error) {
+	return p.SchedSweepJournaled(context.Background(), c, cfg, nil)
+}
+
+// SchedSweepJournaled is SchedSweep with cancellation and crash-safe
+// resume. With a non-nil checkpoint (opened against cfg.Fingerprint),
+// every completed (point, trial) metric is journaled as it finishes and
+// already-journaled ones are not re-simulated on a rerun; because job
+// indices, seeds and aggregation order are identical either way, a sweep
+// killed at any point and resumed produces byte-identical points to an
+// uninterrupted run. The per-trial prep round (trace synthesis, failure
+// sampling) is pure derivation from cfg.Seed and is recomputed, not
+// journaled.
+func (p *Pool) SchedSweepJournaled(ctx context.Context, c *core.Cluster, cfg SchedSweepConfig, ck *Checkpoint) ([]SchedPoint, error) {
 	if c.Hx == nil || c.Grid == nil {
 		return nil, fmt.Errorf("runner: scheduler sweeps need an HxMesh-family cluster, got %s", c.Net.Meta.Family)
 	}
@@ -207,7 +260,7 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 			},
 		}
 	}
-	prepResults := p.Run(prepJobs)
+	prepResults := p.RunCtx(ctx, prepJobs)
 	if err := FirstErr(prepResults); err != nil {
 		return nil, err
 	}
@@ -243,7 +296,17 @@ func (p *Pool) SchedSweep(c *core.Cluster, cfg SchedSweepConfig) ([]SchedPoint, 
 			})
 		}
 	}
-	results := p.Run(jobs)
+	// Point-job names are unique within the sweep and deterministic, so
+	// they double as checkpoint keys; the checkpoint's meta record pins the
+	// sweep fingerprint, making (fingerprint, name) globally unambiguous.
+	ckKeys := make([]string, len(jobs))
+	for i := range jobs {
+		ckKeys[i] = jobs[i].Name
+	}
+	results, err := RunJournaled[sched.Metrics](p, ctx, jobs, ckKeys, ck)
+	if err != nil {
+		return nil, err
+	}
 	if err := FirstErr(results); err != nil {
 		return nil, err
 	}

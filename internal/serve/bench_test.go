@@ -26,7 +26,7 @@ func benchPost(b *testing.B, url, body string) {
 // BenchmarkDaemonHit measures the repeat-request fast path over real
 // HTTP: canonicalize, content address, LRU cache hit — no pool work.
 func BenchmarkDaemonHit(b *testing.B) {
-	s := New(Config{Pool: runner.New(2)})
+	s := mustNew(b, Config{Pool: runner.New(2)})
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()
@@ -46,7 +46,7 @@ func BenchmarkDaemonHit(b *testing.B) {
 // (the cheap analytic allreduce measurement, so the daemon overhead —
 // not the simulation — dominates what is being compared across PRs).
 func BenchmarkDaemonDistinct(b *testing.B) {
-	s := New(Config{Pool: runner.New(2)})
+	s := mustNew(b, Config{Pool: runner.New(2)})
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()

@@ -16,6 +16,17 @@ import (
 	"hammingmesh/internal/runner"
 )
 
+// mustNew builds a Server, failing the test on error (only journal-enabled
+// configs can fail).
+func mustNew(tb testing.TB, cfg Config) *Server {
+	tb.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 // post sends one experiment request and returns status, body and the
 // cache-status header.
 func post(t *testing.T, url, body string) (int, []byte, string) {
@@ -40,7 +51,7 @@ func TestServeAllKindsCacheHitDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
 	}
-	s := New(Config{Pool: runner.New(0)})
+	s := mustNew(t, Config{Pool: runner.New(0)})
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()
@@ -126,7 +137,7 @@ func TestServeCoalescesConcurrentIdentical(t *testing.T) {
 	const n = 8
 	release := make(chan struct{})
 	var computations atomic.Int64
-	s := New(Config{Compute: func(cn *Canon) ([]byte, error) {
+	s := mustNew(t, Config{Compute: func(cn *Canon) ([]byte, error) {
 		computations.Add(1)
 		<-release
 		return cn.CanonicalJSON(), nil
@@ -207,7 +218,7 @@ func TestServeEvictionNeverServesWrongResult(t *testing.T) {
 	}
 	_, sample := reqAt(1)
 	budget := 2*entrySize(strings.Repeat("k", 64), sample) + entrySize("", nil)/2 // room for two entries
-	s := New(Config{Compute: compute, CacheBytes: budget})
+	s := mustNew(t, Config{Compute: compute, CacheBytes: budget})
 	defer s.Close()
 	ts := httptest.NewServer(s)
 	defer ts.Close()
@@ -248,7 +259,7 @@ func TestServeEvictionNeverServesWrongResult(t *testing.T) {
 // unboundedly, and invalid requests fail with 400.
 func TestServeBackpressureAndBadRequests(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{
+	s := mustNew(t, Config{
 		Compute:  func(cn *Canon) ([]byte, error) { <-release; return cn.CanonicalJSON(), nil },
 		QueueLen: 1, BatchSize: 1, MaxWait: time.Millisecond,
 	})

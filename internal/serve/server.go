@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hammingmesh/internal/journal"
 	"hammingmesh/internal/runner"
 )
 
@@ -51,6 +52,15 @@ type Config struct {
 	Registry *Registry
 	// Pprof mounts net/http/pprof handlers under /debug/pprof/ when set.
 	Pprof bool
+	// JournalDir enables the durable job journal (cmd/hxd -journal-dir):
+	// accepted requests and computed results are appended to a crash-safe
+	// journal there, and on restart the result cache is rewarmed from
+	// journaled results while accepted-but-unserved requests are re-run
+	// through the batcher. Empty disables journaling entirely.
+	JournalDir string
+	// JournalOptions tunes the journal (tests: NoSync, tiny segments,
+	// crash plans). Its Obs field is overridden with the server registry.
+	JournalOptions journal.Options
 }
 
 // call is one in-flight computation that concurrent identical requests
@@ -78,12 +88,24 @@ type Server struct {
 	mu       sync.Mutex
 	inflight map[string]*call
 
+	journal  *jobJournal // nil: journaling off
+	replayWG sync.WaitGroup
+	// ReplayedResults and ReplayedPending report what the journal restart
+	// recovery did: results rewarmed into the cache and accepted requests
+	// re-run through the batcher. Zero without a journal.
+	ReplayedResults, ReplayedPending int
+
 	hits, misses, coalesced, rejected, computations, errored *Counter
+	journalErrors                                            *Counter
 	queueHist, computeHist, totalHist                        *Histogram
 }
 
 // New builds a Server and starts its batcher. Call Close to drain it.
-func New(cfg Config) *Server {
+// With Config.JournalDir set it also opens (and if needed recovers) the
+// durable job journal before serving: journaled results rewarm the cache
+// synchronously, and accepted-but-unserved requests replay through the
+// batcher in the background (WaitReplay blocks until they finish).
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = DefaultCacheBytes
 	}
@@ -111,12 +133,32 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		inflight: make(map[string]*call),
 
-		hits:         reg.Counter("hxd_cache_hits_total", "", "requests served from the result cache"),
-		misses:       reg.Counter("hxd_cache_misses_total", "", "requests that had to compute"),
-		coalesced:    reg.Counter("hxd_coalesced_total", "", "requests that attached to an identical in-flight computation"),
-		rejected:     reg.Counter("hxd_rejected_total", "", "requests rejected by queue backpressure"),
-		computations: reg.Counter("hxd_computations_total", "", "pool computations actually performed"),
-		errored:      reg.Counter("hxd_errors_total", "", "computations that returned an error"),
+		hits:          reg.Counter("hxd_cache_hits_total", "", "requests served from the result cache"),
+		misses:        reg.Counter("hxd_cache_misses_total", "", "requests that had to compute"),
+		coalesced:     reg.Counter("hxd_coalesced_total", "", "requests that attached to an identical in-flight computation"),
+		rejected:      reg.Counter("hxd_rejected_total", "", "requests rejected by queue backpressure"),
+		computations:  reg.Counter("hxd_computations_total", "", "pool computations actually performed"),
+		errored:       reg.Counter("hxd_errors_total", "", "computations that returned an error"),
+		journalErrors: reg.Counter("hxd_journal_errors_total", "", "job-journal appends that failed"),
+	}
+
+	var pendingReplay map[string]*Canon
+	if cfg.JournalDir != "" {
+		o := cfg.JournalOptions
+		o.Obs = reg
+		jj, pending, results, _, err := openJobJournal(cfg.JournalDir, o)
+		if err != nil {
+			return nil, fmt.Errorf("serve: open job journal: %w", err)
+		}
+		s.journal = jj
+		for key, body := range results {
+			s.cache.Put(key, body)
+		}
+		s.ReplayedResults = len(results)
+		s.ReplayedPending = len(pending)
+		pendingReplay = pending
+		reg.Counter("hxd_journal_results_rewarmed_total", "", "journaled results loaded into the cache at startup").Add(int64(len(results)))
+		reg.Counter("hxd_journal_pending_replayed_total", "", "accepted-but-unserved requests re-run at startup").Add(int64(len(pending)))
 	}
 	latBuckets := []float64{0.0005, 0.002, 0.01, 0.05, 0.2, 1, 5, 20}
 	s.queueHist = reg.Histogram("hxd_stage_seconds", `stage="queue"`, "per-stage request latency", latBuckets)
@@ -128,6 +170,30 @@ func New(cfg Config) *Server {
 		reg.Counter("hxd_batched_requests_total", "", "requests that went through the batcher").Add(int64(n))
 	}
 	s.batcher = NewBatcher(cfg.QueueLen, cfg.BatchSize, cfg.MaxWait, compute, flushes)
+
+	if len(pendingReplay) > 0 {
+		// Re-run accepted-but-unserved requests through the live batcher,
+		// sequentially (each waits for the last, so replay never trips the
+		// queue's backpressure) and in sorted key order (deterministic
+		// recovery). The daemon serves normally while this drains.
+		s.replayWG.Add(1)
+		go func() {
+			defer s.replayWG.Done()
+			for _, key := range sortedKeys(pendingReplay) {
+				item := &batchItem{canon: pendingReplay[key], key: key, done: make(chan struct{})}
+				for !s.batcher.Enqueue(item) {
+					time.Sleep(time.Millisecond)
+				}
+				<-item.done
+				if item.err != nil {
+					s.errored.Inc()
+					continue
+				}
+				s.cache.Put(key, item.body)
+				s.journalResult(key, item.body)
+			}
+		}()
+	}
 
 	reg.GaugeFunc("hxd_queue_depth", "", "queued, not yet flushed requests", func() float64 {
 		return float64(s.batcher.Depth())
@@ -177,16 +243,36 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
+}
+
+// WaitReplay blocks until the journal restart recovery finished re-running
+// accepted-but-unserved requests (immediately without a journal).
+func (s *Server) WaitReplay() { s.replayWG.Wait() }
+
+// journalResult appends a computed result to the job journal (no-op
+// without one). A failed append only degrades durability — the response
+// is already correct — so it is counted, not propagated.
+func (s *Server) journalResult(key string, body []byte) {
+	if err := s.journal.result(key, body); err != nil {
+		s.journalErrors.Inc()
+	}
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the batch queue (every accepted request still completes)
-// and stops the batcher. The graceful-shutdown order in cmd/hxd is
-// http.Server.Shutdown first — no new requests — then Close.
-func (s *Server) Close() { s.batcher.Close() }
+// Close drains the batch queue (every accepted request still completes),
+// stops the batcher and seals the job journal. The graceful-shutdown
+// order in cmd/hxd is http.Server.Shutdown first — no new requests —
+// then Close.
+func (s *Server) Close() {
+	// Replay first: Enqueue on a closed batcher would panic, and replayed
+	// requests are accepted work that must complete like any other.
+	s.replayWG.Wait()
+	s.batcher.Close()
+	s.journal.close()
+}
 
 // Metrics exposes the registry (examples, tests).
 func (s *Server) Metrics() *Registry { return s.metrics }
@@ -269,6 +355,15 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, cn.Kind, http.StatusTooManyRequests, errQueueFull)
 		return
 	}
+	// The request is accepted: make it durable before the (possibly long)
+	// computation, so a daemon killed mid-batch re-runs it on restart. The
+	// response itself is synchronous, so a failed append only loses
+	// durability for work the client has not been promised yet.
+	if s.journal != nil {
+		if err := s.journal.accept(cn); err != nil {
+			s.journalErrors.Inc()
+		}
+	}
 	<-item.done
 	s.computations.Inc()
 	cl.body, cl.err = item.body, item.err
@@ -281,6 +376,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		// arriving in between finds the cached body instead of starting
 		// a duplicate computation.
 		s.cache.Put(key, cl.body)
+		if s.journal != nil {
+			s.journalResult(key, cl.body)
+		}
 	}
 	close(cl.done)
 	s.mu.Lock()

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the tracked performance benchmarks and emit a JSON
-# trajectory file (default BENCH_PR8.json) for CI artifacts, so the
+# trajectory file (default BENCH_PR9.json) for CI artifacts, so the
 # ns/op, allocs/op and events/op of the hot paths are comparable across
 # PRs:
 #
@@ -13,6 +13,8 @@
 #   FlowSolverLarge      flow-level alltoall on the 16,384-endpoint Hx2Mesh
 #   DaemonHit            hxd repeat-request path: HTTP + cache hit
 #   DaemonDistinct       hxd miss path: canonicalize + batch + pool
+#   JournalAppend/*      checkpoint append overhead, nosync and fsync
+#   SweepResume/*        journaled sched sweep: fresh run vs journal replay
 #
 # Usage:
 #   tools/bench.sh [out.json]
@@ -25,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 raw="bench-raw.txt"
 args=(-run '^$'
   -bench 'BenchmarkPacketSim$|BenchmarkPacketSimQueue$|BenchmarkPacketSimShards$|BenchmarkTraceOverhead$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
@@ -45,6 +47,15 @@ grep -E 'BenchmarkTraceOverhead/off.*[[:space:]]0 B/op' "$raw" >/dev/null || {
 # trajectory file: req/s for the cache-hit and full-miss paths.
 go test -run '^$' -bench 'BenchmarkDaemonHit$|BenchmarkDaemonDistinct$' \
   -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/serve | tee -a "$raw"
+
+# Checkpointing trajectory: raw journal append cost (the per-point tax a
+# journaled sweep pays, with and without fsync) and the wall-time gap
+# between a fresh journaled sched sweep and a pure journal replay of the
+# same grid (what a crash-resume recovers for free).
+go test -run '^$' -bench 'BenchmarkJournalAppend$' \
+  -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/journal | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkSweepResume$' \
+  -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/runner | tee -a "$raw"
 
 # One JSON object per benchmark line: name, iterations, then every
 # value/unit metric pair go test printed (ns/op, B/op, allocs/op,

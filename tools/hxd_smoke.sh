@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # hxd_smoke.sh — end-to-end smoke of the hxd daemon over real HTTP:
-# build the binary, start it on an ephemeral port (with -pprof mounted),
-# POST the same experiment twice and require the second response to be a
+# build the binary, start it on an ephemeral port (with -pprof mounted
+# and a durable job journal), wait for /healthz with backoff, POST the
+# same experiment twice and require the second response to be a
 # byte-identical cache hit, scrape /metrics — including the pool/engine
 # series the unified obs registry adds — curl a pprof endpoint, validate
-# an hxsim -trace flight recording as JSON, then SIGTERM and require a
-# graceful exit.
+# an hxsim -trace flight recording as JSON, SIGTERM and require a
+# graceful exit, then kill -9 a fresh daemon and require the restart to
+# replay its journal (rewarmed cache, first request already a hit).
 #
 # Usage:
 #   tools/hxd_smoke.sh
@@ -20,23 +22,34 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# start_hxd <logfile> [extra flags...]: launch the daemon on an ephemeral
+# port and wait until /healthz answers, retrying with backoff instead of
+# a fixed sleep. Sets $hxd_pid and $base.
+start_hxd() {
+  local log="$1"; shift
+  "$workdir/hxd" -addr 127.0.0.1:0 -workers 2 "$@" >"$log" 2>&1 &
+  hxd_pid=$!
+  local addr="" delay=0.05
+  for _ in $(seq 1 60); do
+    addr="$(sed -n 's/^hxd listening on //p' "$log" | head -n1)"
+    if [ -n "$addr" ] && curl -sSf -m 2 "http://$addr/healthz" >/dev/null 2>&1; then
+      base="http://$addr"
+      echo "   daemon at $base (pid $hxd_pid)"
+      return 0
+    fi
+    kill -0 "$hxd_pid" 2>/dev/null || { cat "$log"; echo "hxd died on startup"; exit 1; }
+    sleep "$delay"
+    # Exponential backoff, capped at half a second.
+    delay="$(awk -v d="$delay" 'BEGIN { d *= 2; print (d > 0.5) ? 0.5 : d }')"
+  done
+  cat "$log"; echo "hxd never became healthy"; exit 1
+}
+
 echo "== build"
 go build -o "$workdir/hxd" ./cmd/hxd
 
-echo "== start"
-"$workdir/hxd" -addr 127.0.0.1:0 -workers 2 -pprof >"$workdir/stdout.log" 2>&1 &
-hxd_pid=$!
-
-addr=""
-for _ in $(seq 1 100); do
-  addr="$(sed -n 's/^hxd listening on //p' "$workdir/stdout.log" | head -n1)"
-  [ -n "$addr" ] && break
-  kill -0 "$hxd_pid" 2>/dev/null || { cat "$workdir/stdout.log"; echo "hxd died on startup"; exit 1; }
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "hxd never announced its address"; exit 1; }
-base="http://$addr"
-echo "   daemon at $base"
+echo "== start (retry-until-healthy)"
+start_hxd "$workdir/stdout.log" -pprof -journal-dir "$workdir/journal"
 
 req='{"kind":"allreduce","topo":"hx2mesh","size":"tiny"}'
 post() {
@@ -91,5 +104,25 @@ kill -TERM "$hxd_pid"
 wait "$hxd_pid" || { echo "hxd exited non-zero after SIGTERM"; cat "$workdir/stdout.log"; exit 1; }
 hxd_pid=""
 grep -q 'drained, bye' "$workdir/stdout.log" || { echo "no drain message"; cat "$workdir/stdout.log"; exit 1; }
+
+echo "== kill -9 -> restart -> journal replay"
+# A daemon that dies with no drain and no cleanup must come back with
+# every journaled result rewarmed: the two computed above survive, and
+# the very first request after the restart is already a cache hit.
+start_hxd "$workdir/stdout2.log" -journal-dir "$workdir/journal"
+kill -9 "$hxd_pid"
+wait "$hxd_pid" 2>/dev/null || true
+hxd_pid=""
+start_hxd "$workdir/stdout3.log" -journal-dir "$workdir/journal"
+grep -q '^hxd journal: 2 results rewarmed, 0 pending requests replaying$' "$workdir/stdout3.log" || {
+  echo "restart did not replay the journal:"; cat "$workdir/stdout3.log"; exit 1; }
+req='{"kind":"allreduce","topo":"hx2mesh","size":"tiny"}'
+post r4
+grep -qi '^x-hxd-cache: hit' "$workdir/r4.hdr" || {
+  echo "first request after kill -9 restart was not a rewarmed hit:"; cat "$workdir/r4.hdr"; exit 1; }
+cmp "$workdir/r1.body" "$workdir/r4.body" || { echo "rewarmed body differs from the original"; exit 1; }
+kill -TERM "$hxd_pid"
+wait "$hxd_pid" || { echo "restarted hxd exited non-zero after SIGTERM"; cat "$workdir/stdout3.log"; exit 1; }
+hxd_pid=""
 
 echo "hxd smoke OK"
