@@ -28,6 +28,17 @@
 // a trial), and -defrag sweeps the fragmentation threshold that triggers
 // the checkpoint-migrate defragmentation pass (-defrag-cost hours of
 // transfer overhead per migrated job, charged as lost work).
+//
+// The scheduler-v3 axes: -interference sweeps joint contention pricing
+// (jobs are admitted and re-stretched at the slowdown a flow solve over
+// the shared upper-layer fat-trees assigns them; -switch-group and -taper
+// set the contention topology), -elastic sweeps malleable jobs (shrunk
+// admission, regrow, failure trims; -elastic-frac marks synthetic jobs),
+// and -priority sweeps checkpoint-evicting preemption (-priority-frac).
+// -trace-csv loads Alibaba/Philly-style CSV traces:
+//
+//	hxalloc -mode sched -grid 8x8 -interference 0,1 -elastic 0,1 -switch-group 2 -taper 0.25
+//	hxalloc -mode sched -trace-csv jobs.csv -mtbf 0,100
 package main
 
 import (
@@ -77,6 +88,14 @@ func main() {
 	burstShape := flag.String("burst-shape", "4x1", "sched: burst region WxH in boards (rack segment / row outage)")
 	defragList := flag.String("defrag", "0", "sched: fragmentation thresholds triggering checkpoint-migrate defrag (0 = off)")
 	defragCost := flag.Float64("defrag-cost", 0.1, "sched: checkpoint-transfer overhead per migrated job, hours")
+	interferenceList := flag.String("interference", "0", "sched: joint contention pricing values to sweep (0=off, 1=on, e.g. 0,1)")
+	elasticList := flag.String("elastic", "0", "sched: malleable-job scheduling values to sweep (0=off, 1=on)")
+	priorityList := flag.String("priority", "0", "sched: priority preemption values to sweep (0=off, 1=on)")
+	elasticFrac := flag.Float64("elastic-frac", 0.3, "sched: fraction of synthetic jobs marked elastic when -elastic sweeps on")
+	priorityFrac := flag.Float64("priority-frac", 0.2, "sched: fraction of synthetic jobs given elevated priority when -priority sweeps on")
+	switchGroup := flag.Int("switch-group", 16, "sched: boards per upper-layer switch group (slowdown + contention models)")
+	taper := flag.Float64("taper", 1, "sched: upper-layer fat-tree taper fraction for contention pricing")
+	traceCSVFile := flag.String("trace-csv", "", "sched: CSV trace file, Alibaba/Philly-style columns (overrides the synthetic generator)")
 	traceOut := flag.String("trace-out", "", "sched: write a Chrome trace-event JSON flight recording of one representative run to this file (open in Perfetto); -trace stays the input trace file")
 	journalDir := flag.String("journal", "", "sched: checkpoint directory — completed sweep points are journaled crash-safely and rerunning the same command resumes")
 	journalCrash := flag.String("journal-crash", "", "crash-injection plan <point>:<n> — die mid-write at that journal boundary (testing; see internal/journal)")
@@ -109,6 +128,9 @@ func main() {
 			reserves: *reserveList, bursts: *burstList, burstShape: *burstShape,
 			defrags: *defragList, defragCost: *defragCost, traceOut: *traceOut,
 			journalDir: *journalDir, journalCrash: *journalCrash,
+			interferences: *interferenceList, elastics: *elasticList, priorities: *priorityList,
+			elasticFrac: *elasticFrac, priorityFrac: *priorityFrac,
+			switchGroup: *switchGroup, taper: *taper, traceCSV: *traceCSVFile,
 		})
 		return
 	}
@@ -166,6 +188,10 @@ type schedFlags struct {
 	reserves, bursts, burstShape      string
 	defrags, traceOut                 string
 	journalDir, journalCrash          string
+	interferences, elastics           string
+	priorities, traceCSV              string
+	elasticFrac, priorityFrac, taper  float64
+	switchGroup                       int
 	defragCost                        float64
 	trials                            int
 	seed                              int64
@@ -189,20 +215,54 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 		}
 		policies = append(policies, p)
 	}
-	var reserves []bool
-	for _, v := range parseFloats(f.reserves, "-reserve") {
-		reserves = append(reserves, v != 0)
+	parseBools := func(s, flagName string) []bool {
+		var out []bool
+		for _, v := range parseFloats(s, flagName) {
+			out = append(out, v != 0)
+		}
+		return out
 	}
+	anyTrue := func(bs []bool) bool {
+		for _, b := range bs {
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+	reserves := parseBools(f.reserves, "-reserve")
+	interferences := parseBools(f.interferences, "-interference")
+	elastics := parseBools(f.elastics, "-elastic")
+	priorities := parseBools(f.priorities, "-priority")
 	var shapeW, shapeH int
 	if _, err := fmt.Sscanf(f.burstShape, "%dx%d", &shapeW, &shapeH); err != nil || shapeW < 1 || shapeH < 1 {
 		fatalf("bad -burst-shape %q (want WxH, e.g. 4x1)", f.burstShape)
 	}
+	traceCfg := sched.TraceConfig{
+		Jobs: f.jobs, ArrivalRate: f.arrival, MeanService: f.service,
+		AccelsPerBoard: accelsPerBoard, MaxBoards: x * y, CommFrac: f.commfrac,
+	}
+	if anyTrue(elastics) {
+		traceCfg.ElasticFrac = f.elasticFrac
+	}
+	if anyTrue(priorities) {
+		traceCfg.PriorityFrac = f.priorityFrac
+	}
+	// The slowdown model always carries the -switch-group topology (16
+	// matches the model's default); the contention model is built only
+	// when the interference axis sweeps on.
+	baseCfg := sched.Config{
+		HorizonH: f.horizon, RepairH: f.repair, DefragCostH: f.defragCost,
+		Slowdown: &sched.CommSlowdown{BoardA: side, BoardB: side, GroupBoards: f.switchGroup},
+	}
+	if anyTrue(interferences) {
+		baseCfg.Interference = &sched.Interference{
+			BoardA: side, BoardB: side, GroupBoards: f.switchGroup, Taper: f.taper,
+		}
+	}
 	cfg := runner.SchedSweepConfig{
-		Trace: sched.TraceConfig{
-			Jobs: f.jobs, ArrivalRate: f.arrival, MeanService: f.service,
-			AccelsPerBoard: accelsPerBoard, MaxBoards: x * y, CommFrac: f.commfrac,
-		},
-		Base:             sched.Config{HorizonH: f.horizon, RepairH: f.repair, DefragCostH: f.defragCost},
+		Trace:            traceCfg,
+		Base:             baseCfg,
 		MTBFs:            mtbfs,
 		CheckpointsH:     ckpts,
 		Policies:         policies,
@@ -210,8 +270,14 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 		BurstRates:       parseFloats(f.bursts, "-burst"),
 		Burst:            sched.BurstShape{W: shapeW, H: shapeH},
 		DefragThresholds: parseFloats(f.defrags, "-defrag"),
+		Interferences:    interferences,
+		Elastics:         elastics,
+		Preempts:         priorities,
 		Trials:           f.trials,
 		Seed:             f.seed,
+	}
+	if f.traceFile != "" && f.traceCSV != "" {
+		fatalf("use only one of -trace and -trace-csv")
 	}
 	if f.traceFile != "" {
 		file, err := os.Open(f.traceFile)
@@ -219,6 +285,19 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 			fatalf("%v", err)
 		}
 		cfg.FixedTrace, err = sched.LoadTrace(file)
+		file.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if f.traceCSV != "" {
+		file, err := os.Open(f.traceCSV)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.FixedTrace, err = sched.ParseTraceCSV(file, sched.CSVOptions{
+			AccelsPerBoard: accelsPerBoard, DefaultCommFrac: f.commfrac,
+		})
 		file.Close()
 		if err != nil {
 			fatalf("%v", err)
@@ -256,27 +335,32 @@ func runSched(pool *runner.Pool, x, y, accelsPerBoard int, f schedFlags) {
 	}
 	fmt.Printf("scheduler sweep: %dx%d boards, horizon %gh, repair %gh, burst shape %dx%d, %d trials, %d workers\n\n",
 		x, y, f.horizon, f.repair, shapeW, shapeH, f.trials, pool.Workers())
-	fmt.Printf("%-9s %6s %3s %6s %6s %7s | %8s %8s %6s | %7s %7s %8s | %6s %6s %6s\n",
-		"policy", "ckpt-h", "res", "defrag", "burst", "mtbf-h",
-		"goodput", "util", "lost", "waitP50", "waitP99", "maxWaitL", "done", "evict", "migr")
+	fmt.Printf("%-9s %6s %3s %6s %3s %3s %3s %6s %7s | %8s %8s %6s | %7s %7s %8s | %6s %6s %6s %6s %6s\n",
+		"policy", "ckpt-h", "res", "defrag", "inf", "ela", "pre", "burst", "mtbf-h",
+		"goodput", "util", "lost", "waitP50", "waitP99", "maxWaitL", "done", "evict", "migr", "restr", "elast")
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
 	for i, pt := range pts {
 		if i > 0 && (pt.Policy != pts[i-1].Policy || pt.CheckpointH != pts[i-1].CheckpointH ||
 			pt.Reservation != pts[i-1].Reservation || pt.DefragThreshold != pts[i-1].DefragThreshold ||
-			pt.BurstRate != pts[i-1].BurstRate) {
+			pt.Interference != pts[i-1].Interference || pt.Elastic != pts[i-1].Elastic ||
+			pt.Preempt != pts[i-1].Preempt || pt.BurstRate != pts[i-1].BurstRate) {
 			fmt.Println()
 		}
 		mtbf := "inf"
 		if pt.MTBFh > 0 {
 			mtbf = fmt.Sprintf("%g", pt.MTBFh)
 		}
-		res := "off"
-		if pt.Reservation {
-			res = "on"
-		}
-		fmt.Printf("%-9s %6g %3s %6g %6g %7s | %7.1f%% %7.1f%% %5.1f%% | %7.2f %7.2f %8.2f | %6.0f %6.1f %6.1f\n",
-			pt.Policy, pt.CheckpointH, res, pt.DefragThreshold, pt.BurstRate, mtbf,
+		fmt.Printf("%-9s %6g %3s %6g %3s %3s %3s %6g %7s | %7.1f%% %7.1f%% %5.1f%% | %7.2f %7.2f %8.2f | %6.0f %6.1f %6.1f %6.1f %6.1f\n",
+			pt.Policy, pt.CheckpointH, onOff(pt.Reservation), pt.DefragThreshold,
+			onOff(pt.Interference), onOff(pt.Elastic), onOff(pt.Preempt), pt.BurstRate, mtbf,
 			100*pt.Goodput, 100*pt.Utilization, 100*pt.LostFrac,
-			pt.WaitP50, pt.WaitP99, pt.MaxWaitLarge, pt.Completed, pt.Evictions, pt.Migrations)
+			pt.WaitP50, pt.WaitP99, pt.MaxWaitLarge, pt.Completed, pt.Evictions, pt.Migrations,
+			pt.Restretches, pt.Shrinks+pt.Regrows)
 	}
 	if f.traceOut != "" {
 		writeSchedTrace(c, cfg, f.traceOut)

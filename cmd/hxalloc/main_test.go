@@ -55,6 +55,54 @@ func TestHxallocSchedSmoke(t *testing.T) {
 	cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4", "-burst-shape", "bogus")
 }
 
+// Smoke: the scheduler-v3 axes (interference x elastic x priority) print
+// one row per point with the on/off columns, and -trace-csv drives the
+// sweep from an Alibaba/Philly-style CSV file.
+func TestHxallocSchedV3AxesAndCSV(t *testing.T) {
+	bin := cmdtest.Build(t)
+
+	out := cmdtest.Run(t, bin, "-mode", "sched", "-grid", "4x4",
+		"-jobs", "40", "-arrival", "8", "-service", "5", "-commfrac", "0.6",
+		"-horizon", "20", "-mtbf", "0", "-ckpt", "2",
+		"-policies", "bestfit", "-trials", "2",
+		"-interference", "0,1", "-elastic", "0,1", "-priority", "0,1",
+		"-switch-group", "2", "-taper", "0.25")
+	cmdtest.MustContain(t, out, "scheduler sweep: 4x4 boards",
+		"inf", "ela", "pre", "restr", "elast")
+	// 1 policy x 1 ckpt x 2 interference x 2 elastic x 2 priority.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "bestfit") {
+			rows++
+		}
+	}
+	if rows != 8 {
+		t.Fatalf("sweep printed %d point rows, want 8:\n%s", rows, out)
+	}
+
+	// A CSV trace with aliased headers drives the same sweep.
+	csv := filepath.Join(t.TempDir(), "jobs.csv")
+	if err := os.WriteFile(csv, []byte(
+		"job_id,submit_time_h,gpus,duration_h,comm_frac,min_boards,priority\n"+
+			"0,0.0,16,2.0,0.5,2,1\n"+
+			"1,0.5,8,1.5,0.3,1,2\n"+
+			"2,1.0,4,3.0,0.4,,\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = cmdtest.Run(t, bin, "-mode", "sched", "-grid", "4x4",
+		"-horizon", "20", "-mtbf", "0", "-ckpt", "2",
+		"-policies", "bestfit", "-trials", "1", "-trace-csv", csv,
+		"-elastic", "1", "-priority", "1")
+	cmdtest.MustContain(t, out, "scheduler sweep: 4x4 boards", "bestfit")
+
+	// -trace and -trace-csv are mutually exclusive; a bad CSV is rejected.
+	errOut := cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4",
+		"-trace", csv, "-trace-csv", csv)
+	cmdtest.MustContain(t, errOut, "only one of -trace and -trace-csv")
+	cmdtest.RunExpectError(t, bin, "-mode", "sched", "-grid", "4x4",
+		"-trace-csv", filepath.Join(t.TempDir(), "missing.csv"))
+}
+
 // The crash-resume contract at the process level for the scheduler sweep:
 // a run killed by a real process death (-journal-crash fires os.Exit
 // mid-write) at several distinct journal write boundaries resumes from its

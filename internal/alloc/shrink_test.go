@@ -1,0 +1,77 @@
+package alloc
+
+import "testing"
+
+func TestShrinkDropColumn(t *testing.T) {
+	g := NewGrid(4, 4)
+	p, ok := g.Allocate(7, 2, 2, Options{})
+	if !ok {
+		t.Fatal("2x2 on empty 4x4 failed")
+	}
+	dropped := p.Cols[1]
+	np, err := g.Shrink(p, p.Rows, p.Cols[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np.Job != 7 || np.U() != 2 || np.V() != 1 {
+		t.Fatalf("shrunk placement %+v, want 2x1 for job 7", np)
+	}
+	for _, r := range p.Rows {
+		if got := g.Owner(dropped, r); got != Free {
+			t.Errorf("board (%d,%d) owner %d, want Free", dropped, r, got)
+		}
+		if got := g.Owner(np.Cols[0], r); got != 7 {
+			t.Errorf("kept board (%d,%d) owner %d, want 7", np.Cols[0], r, got)
+		}
+	}
+	if err := g.Validate([]*Placement{np}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShrinkErrorsLeaveGridIntact(t *testing.T) {
+	g := NewGrid(4, 4)
+	p, ok := g.Allocate(1, 2, 2, Options{})
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	before := g.AllocatedBoards()
+	if _, err := g.Shrink(p, nil, p.Cols); err == nil {
+		t.Error("empty keepRows accepted")
+	}
+	if _, err := g.Shrink(p, []int{99}, p.Cols); err == nil {
+		t.Error("row outside placement accepted")
+	}
+	if _, err := g.Shrink(p, p.Rows, []int{99}); err == nil {
+		t.Error("col outside placement accepted")
+	}
+	if got := g.AllocatedBoards(); got != before {
+		t.Fatalf("failed shrink changed grid: %d boards, was %d", got, before)
+	}
+	// Stale placement: release then shrink must fail without freeing.
+	g.Release(1)
+	if _, err := g.Shrink(p, p.Rows, p.Cols[:1]); err == nil {
+		t.Error("stale placement accepted")
+	}
+}
+
+func TestShrinkThenFail(t *testing.T) {
+	// The elastic scheduler's failure path: trim the failed board's column,
+	// then Fail it — the job must survive.
+	g := NewGrid(4, 4)
+	p, ok := g.Allocate(3, 2, 2, Options{})
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	bx, by := p.Cols[0], p.Rows[0]
+	np, err := g.Shrink(p, p.Rows, p.Cols[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim := g.Fail(bx, by); victim != Free {
+		t.Fatalf("failing trimmed board evicted %d", victim)
+	}
+	if err := g.Validate([]*Placement{np}); err != nil {
+		t.Error(err)
+	}
+}

@@ -83,6 +83,48 @@ func AlltoallShare(a, b int) float64 {
 	return float64(a+b) / float64(4*a*b)
 }
 
+// AlltoallShareMesh is the finite-size refinement of AlltoallShare for a
+// u×v mesh of a×b boards (n = u·v·a·b accelerators). The asymptotic bound
+// assumes nearly all alltoall traffic is cross-row-cross-column; in a small
+// or skewed mesh a large share of the traffic stays on-board or crosses
+// only one dimension network, so the board edges carry less transit load
+// and the achievable share is higher. Counting the uniform alltoall's
+// destination fractions from any one accelerator,
+//
+//	fRow = ab(v−1)/(n−1)   (same board row, different board)
+//	fCol = ab(u−1)/(n−1)   (same board column, different board)
+//	fxx  = ab(u−1)(v−1)/(n−1)  (crosses both, transiting one intermediate)
+//
+// and balancing the per-direction board-edge demand — row+column crossings
+// plus the double crossing that cross-cross traffic pays at its
+// intermediate board — against the 2a+2b board cables per direction gives
+//
+//	share(u,v) = min(1, (a+b) / (2ab·(fRow + fCol + 2·fxx)))
+//
+// which is monotone non-increasing in u and v and converges to
+// AlltoallShare(a, b) = (a+b)/(4ab) as the mesh grows (fxx → 1). A 1×1
+// mesh keeps all communication on the PCB at full bandwidth: share 1.
+func AlltoallShareMesh(a, b, u, v int) float64 {
+	n := u * v * a * b
+	if u*v <= 1 || n <= 1 {
+		return 1
+	}
+	ab := float64(a * b)
+	denom := float64(n - 1)
+	fRow := ab * float64(v-1) / denom
+	fCol := ab * float64(u-1) / denom
+	fxx := ab * float64(u-1) * float64(v-1) / denom
+	load := fRow + fCol + 2*fxx
+	if load <= 0 {
+		return 1
+	}
+	s := float64(a+b) / (2 * ab * load)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
 // FatTreeAlltoallShare is the tapering ratio of the first level: the share
 // of injection bandwidth available for global traffic.
 func FatTreeAlltoallShare(spec topo.TreeSpec) float64 {

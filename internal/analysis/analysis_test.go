@@ -105,3 +105,43 @@ func TestHxMeshSummary(t *testing.T) {
 		t.Errorf("unexpected summary %+v", s)
 	}
 }
+
+func TestAlltoallShareMesh(t *testing.T) {
+	// A 1×1 mesh keeps all traffic on the PCB: full bandwidth.
+	if got := AlltoallShareMesh(2, 2, 1, 1); got != 1 {
+		t.Fatalf("1x1 share = %v, want 1", got)
+	}
+	// Monotone non-increasing in each mesh dimension: more spread can
+	// never raise the achievable share.
+	for _, ab := range [][2]int{{2, 2}, {4, 4}, {2, 4}} {
+		a, b := ab[0], ab[1]
+		prev := 2.0
+		for s := 1; s <= 64; s *= 2 {
+			got := AlltoallShareMesh(a, b, s, s)
+			if got > prev+1e-12 {
+				t.Fatalf("share(%d,%d,%d,%d)=%v > share at previous size %v", a, b, s, s, got, prev)
+			}
+			prev = got
+		}
+		for v := 1; v <= 64; v *= 2 {
+			hi := AlltoallShareMesh(a, b, 4, v)
+			lo := AlltoallShareMesh(a, b, 8, v)
+			if lo > hi+1e-12 {
+				t.Fatalf("share not monotone in u at v=%d: %v -> %v", v, hi, lo)
+			}
+		}
+		// Converges to the asymptotic bound as the mesh grows.
+		asym := AlltoallShare(a, b)
+		big := AlltoallShareMesh(a, b, 256, 256)
+		if rel := (big - asym) / asym; rel < 0 || rel > 0.01 {
+			t.Fatalf("share(%d,%d,256,256)=%v does not converge to AlltoallShare=%v (rel %v)", a, b, big, asym, rel)
+		}
+		if big < asym {
+			t.Fatalf("finite-size share %v below asymptotic bound %v", big, asym)
+		}
+	}
+	// Small meshes must beat the asymptotic bound (much traffic on-board).
+	if got, asym := AlltoallShareMesh(2, 2, 2, 2), AlltoallShare(2, 2); got <= asym {
+		t.Fatalf("2x2 mesh share %v should exceed asymptotic %v", got, asym)
+	}
+}

@@ -116,6 +116,16 @@ func TestSchedSweepCrashResumeBitIdentical(t *testing.T) {
 	cfg.MTBFs = []float64{0, 30}
 	cfg.Trials = 2
 	cfg.Policies = []sched.Policy{sched.FirstFit}
+	// The scheduler-v3 axes ride the same journal: resumed sweeps with
+	// contention pricing, elastic jobs and preemption on must stay
+	// byte-identical to uninterrupted ones.
+	cfg.Trace.ElasticFrac = 0.4
+	cfg.Trace.PriorityFrac = 0.3
+	cfg.Base.Slowdown = &sched.CommSlowdown{BoardA: 2, BoardB: 2, GroupBoards: 2}
+	cfg.Base.Interference = &sched.Interference{GroupBoards: 2, Taper: 0.25}
+	cfg.Interferences = []bool{false, true}
+	cfg.Elastics = []bool{true}
+	cfg.Preempts = []bool{true}
 
 	pool := NewSeeded(4, 1)
 	c, err := pool.Cluster("hx2mesh", "tiny")

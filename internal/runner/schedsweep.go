@@ -48,6 +48,19 @@ type SchedSweepConfig struct {
 	// checkpoint-migrate defragmentation (0 = disabled). Empty means the
 	// single value Base.DefragThreshold.
 	DefragThresholds []float64
+	// Interferences sweeps cross-job contention pricing on/off. When on,
+	// the point uses Base.Interference if non-nil, otherwise a contention
+	// model derived from the cluster's board dimensions; the model (with
+	// its memoized joint solves) is shared across all jobs of the sweep.
+	// Empty means the single value "Base.Interference != nil".
+	Interferences []bool
+	// Elastics sweeps malleable-job scheduling on/off (shrunk admission,
+	// regrow, failure trims for jobs with MinBoards). Empty means the
+	// single value Base.Elastic.
+	Elastics []bool
+	// Preempts sweeps priority preemption on/off. Empty means the single
+	// value Base.Preempt.
+	Preempts []bool
 	// Trials is the number of seeded trials per point (min 1).
 	Trials int
 	// Seed derives every per-trial trace, board sequence and failure
@@ -66,6 +79,10 @@ type SchedPoint struct {
 	Reservation     bool
 	BurstRate       float64
 	DefragThreshold float64
+	// Interference, Elastic and Preempt identify the point on the
+	// scheduler-v3 axes (joint contention pricing, malleable jobs,
+	// priority preemption).
+	Interference, Elastic, Preempt bool
 	// MTBFh is the per-board MTBF of the point (0 = no failures).
 	MTBFh float64
 	// Goodput is the mean fraction of raw board-hours converted to
@@ -93,7 +110,11 @@ type SchedPoint struct {
 	// Defrags and Migrations are mean defragmentation passes and job
 	// migrations per trial.
 	Defrags, Migrations float64
-	Trials              int
+	// Restretches, Shrinks, Regrows and Preemptions are mean v3 feature
+	// activations per trial (contention re-pricings of running jobs,
+	// elastic width changes, priority evictions).
+	Restretches, Shrinks, Regrows, Preemptions float64
+	Trials                                     int
 }
 
 // Fingerprint canonicalizes the sweep — cluster shape, trace, base config
@@ -122,6 +143,9 @@ func (cfg SchedSweepConfig) Fingerprint(c *core.Cluster) string {
 		BurstRates       []float64
 		Burst            sched.BurstShape
 		DefragThresholds []float64
+		Interferences    []bool
+		Elastics         []bool
+		Preempts         []bool
 		Trials           int
 		Seed             int64
 	}{
@@ -130,13 +154,16 @@ func (cfg SchedSweepConfig) Fingerprint(c *core.Cluster) string {
 		Trace: cfg.Trace, FixedTrace: cfg.FixedTrace, Base: base,
 		MTBFs: cfg.MTBFs, CheckpointsH: cfg.CheckpointsH, Policies: cfg.Policies,
 		Reservations: cfg.Reservations, BurstRates: cfg.BurstRates, Burst: cfg.Burst,
-		DefragThresholds: cfg.DefragThresholds, Trials: cfg.Trials, Seed: cfg.Seed,
+		DefragThresholds: cfg.DefragThresholds,
+		Interferences:    cfg.Interferences, Elastics: cfg.Elastics, Preempts: cfg.Preempts,
+		Trials: cfg.Trials, Seed: cfg.Seed,
 	})
 }
 
 // SchedSweep runs the scheduler sweep on the pool, one job per (point,
 // trial), and returns the points in (policy, checkpoint, reservation,
-// defrag, burst, MTBF) list order — MTBF innermost, so each consecutive
+// defrag, interference, elastic, preempt, burst, MTBF) list order — MTBF
+// innermost, so each consecutive
 // len(MTBFs) block is one utilization-vs-MTBF curve. Every trial draws its
 // trace, board-failure order, failure timing and burst process from seeds
 // derived only from cfg.Seed and the trial index, so results are identical
@@ -198,6 +225,25 @@ func (p *Pool) SchedSweepJournaled(ctx context.Context, c *core.Cluster, cfg Sch
 	if len(defrags) == 0 {
 		defrags = []float64{base.DefragThreshold}
 	}
+	// The scheduler-v3 axes likewise default to the base config's values.
+	// A single contention model (with its memoized joint solves) is shared
+	// by every interference-on point; its caches never affect results.
+	interferences := cfg.Interferences
+	if len(interferences) == 0 {
+		interferences = []bool{base.Interference != nil}
+	}
+	sharedInf := base.Interference
+	if sharedInf == nil {
+		sharedInf = &sched.Interference{BoardA: c.Hx.Cfg.A, BoardB: c.Hx.Cfg.B}
+	}
+	elastics := cfg.Elastics
+	if len(elastics) == 0 {
+		elastics = []bool{base.Elastic}
+	}
+	preempts := cfg.Preempts
+	if len(preempts) == 0 {
+		preempts = []bool{base.Preempt}
+	}
 	maxBurst := 0.0
 	for _, r := range burstRates {
 		if r > maxBurst {
@@ -210,16 +256,22 @@ func (p *Pool) SchedSweepJournaled(ctx context.Context, c *core.Cluster, cfg Sch
 	}
 
 	type pointKey struct {
-		pi, ci, ri, di, bi, mi int
+		pi, ci, ri, di, ii, ei, qi, bi, mi int
 	}
 	var keys []pointKey
 	for pi := range cfg.Policies {
 		for ci := range cfg.CheckpointsH {
 			for ri := range reservations {
 				for di := range defrags {
-					for bi := range burstRates {
-						for mi := range cfg.MTBFs {
-							keys = append(keys, pointKey{pi, ci, ri, di, bi, mi})
+					for ii := range interferences {
+						for ei := range elastics {
+							for qi := range preempts {
+								for bi := range burstRates {
+									for mi := range cfg.MTBFs {
+										keys = append(keys, pointKey{pi, ci, ri, di, ii, ei, qi, bi, mi})
+									}
+								}
+							}
 						}
 					}
 				}
@@ -278,10 +330,17 @@ func (p *Pool) SchedSweepJournaled(ctx context.Context, c *core.Cluster, cfg Sch
 			runCfg.CheckpointH = cfg.CheckpointsH[k.ci]
 			runCfg.Reservation = reservations[k.ri]
 			runCfg.DefragThreshold = defrags[k.di]
+			runCfg.Interference = nil
+			if interferences[k.ii] {
+				runCfg.Interference = sharedInf
+			}
+			runCfg.Elastic = elastics[k.ei]
+			runCfg.Preempt = preempts[k.qi]
 			jobs = append(jobs, Job{
-				Name: fmt.Sprintf("sched-%s-ckpt%g-res%v-defrag%g-burst%g-mtbf%g-t%d",
+				Name: fmt.Sprintf("sched-%s-ckpt%g-res%v-defrag%g-inf%v-ela%v-pre%v-burst%g-mtbf%g-t%d",
 					runCfg.Policy, runCfg.CheckpointH, runCfg.Reservation,
-					runCfg.DefragThreshold, burstRates[k.bi], cfg.MTBFs[k.mi], tr),
+					runCfg.DefragThreshold, interferences[k.ii], elastics[k.ei], preempts[k.qi],
+					burstRates[k.bi], cfg.MTBFs[k.mi], tr),
 				Run: func(ctx *Ctx) (any, error) {
 					in := inputs[tr]
 					var fails []sched.FailEvent
@@ -319,6 +378,9 @@ func (p *Pool) SchedSweepJournaled(ctx context.Context, c *core.Cluster, cfg Sch
 			Reservation:     reservations[k.ri],
 			BurstRate:       burstRates[k.bi],
 			DefragThreshold: defrags[k.di],
+			Interference:    interferences[k.ii],
+			Elastic:         elastics[k.ei],
+			Preempt:         preempts[k.qi],
 			MTBFh:           cfg.MTBFs[k.mi],
 			Trials:          trials,
 		}
@@ -337,6 +399,10 @@ func (p *Pool) SchedSweepJournaled(ctx context.Context, c *core.Cluster, cfg Sch
 			pt.Evictions += float64(m.Evictions) / n
 			pt.Defrags += float64(m.Defrags) / n
 			pt.Migrations += float64(m.Migrations) / n
+			pt.Restretches += float64(m.Restretches) / n
+			pt.Shrinks += float64(m.Shrinks) / n
+			pt.Regrows += float64(m.Regrows) / n
+			pt.Preemptions += float64(m.Preemptions) / n
 			if m.MaxWaitLarge > pt.MaxWaitLarge {
 				pt.MaxWaitLarge = m.MaxWaitLarge
 			}
@@ -370,4 +436,8 @@ func (p *Pool) flushSchedDecisions(m *sched.Metrics) {
 	add("backfill", m.Backfills)
 	add("defrag", m.Defrags)
 	add("migration", m.Migrations)
+	add("restretch", m.Restretches)
+	add("shrink", m.Shrinks)
+	add("regrow", m.Regrows)
+	add("preemption", m.Preemptions)
 }

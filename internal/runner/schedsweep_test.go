@@ -79,6 +79,16 @@ func TestSchedSweepWorkerCountInvariant(t *testing.T) {
 	cfg.Burst = sched.BurstShape{W: 2, H: 1}
 	cfg.DefragThresholds = []float64{0, 0.35}
 	cfg.Base.DefragCostH = 0.1
+	// All v3 features on (single-valued axes, so the point count stays 16):
+	// worker invariance must hold with the shared contention model's memo
+	// being filled concurrently.
+	cfg.Trace.ElasticFrac = 0.4
+	cfg.Trace.PriorityFrac = 0.3
+	cfg.Base.Slowdown = &sched.CommSlowdown{BoardA: 2, BoardB: 2, GroupBoards: 2}
+	cfg.Base.Interference = &sched.Interference{GroupBoards: 2, Taper: 0.25}
+	cfg.Interferences = []bool{true}
+	cfg.Elastics = []bool{true}
+	cfg.Preempts = []bool{true}
 
 	serialPool := NewSeeded(1, 1)
 	c, err := serialPool.Cluster("hx2mesh", "tiny")
@@ -170,5 +180,70 @@ func TestSchedSweepBurstAxisMonotoneAndInert(t *testing.T) {
 	if pts[1].MaxWaitLarge >= pts[0].MaxWaitLarge {
 		t.Fatalf("reservation max large-job wait %.2fh not below greedy %.2fh",
 			pts[1].MaxWaitLarge, pts[0].MaxWaitLarge)
+	}
+}
+
+// The scheduler-v3 axes behave across a sweep: the all-off point reproduces
+// a sweep without the axes bit for bit (even on a trace carrying elastic
+// and priority marks, which off-config runs must ignore), and the all-on
+// point shows contention and elastic activity and lands on different
+// headline metrics.
+func TestSchedSweepContentionElasticAxes(t *testing.T) {
+	pool := NewSeeded(8, 1)
+	c, err := pool.Cluster("hx2mesh", "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := schedSweepTestConfig()
+	base.MTBFs = []float64{0}
+	base.Policies = []sched.Policy{sched.BestFit}
+	base.Trials = 2
+	base.Trace = sched.TraceConfig{
+		Jobs: 120, ArrivalRate: 8, MeanService: 5, MaxBoards: 12,
+		CommFrac: 0.6, ElasticFrac: 0.5, PriorityFrac: 0.3,
+	}
+	base.Base.Slowdown = &sched.CommSlowdown{BoardA: 2, BoardB: 2, GroupBoards: 2}
+
+	old, err := pool.SchedSweep(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.Base.Interference = &sched.Interference{GroupBoards: 2, Taper: 0.25}
+	cfg.Interferences = []bool{false, true}
+	cfg.Elastics = []bool{false, true}
+	cfg.Preempts = []bool{false, true}
+	pts, err := pool.SchedSweep(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	if !reflect.DeepEqual(old[0], pts[0]) {
+		t.Fatalf("all-off point differs from pre-v3 sweep:\nold %+v\nnew %+v", old[0], pts[0])
+	}
+	var off, on *SchedPoint
+	for i := range pts {
+		switch {
+		case !pts[i].Interference && !pts[i].Elastic && !pts[i].Preempt:
+			off = &pts[i]
+		case pts[i].Interference && pts[i].Elastic && pts[i].Preempt:
+			on = &pts[i]
+		}
+	}
+	if off == nil || on == nil {
+		t.Fatal("missing all-off or all-on point")
+	}
+	if off.Restretches != 0 || off.Shrinks != 0 || off.Regrows != 0 || off.Preemptions != 0 {
+		t.Fatalf("all-off point has v3 activity: %+v", off)
+	}
+	if on.Restretches == 0 || on.Shrinks == 0 {
+		t.Fatalf("all-on point inert: restretch=%g shrink=%g regrow=%g preempt=%g",
+			on.Restretches, on.Shrinks, on.Regrows, on.Preemptions)
+	}
+	if on.Goodput == off.Goodput && on.SlowP99 == off.SlowP99 {
+		t.Fatal("v3 features moved neither goodput nor SlowP99")
 	}
 }

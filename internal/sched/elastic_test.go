@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestElasticShrinkAndRegrow: a 4x4 grid holds an 8-board job; a 16-board
+// elastic job arrives while it runs, so it must be admitted shrunk (halving
+// toward MinBoards), then regrow to full width once the first job completes
+// and the queue drains.
+func TestElasticShrinkAndRegrow(t *testing.T) {
+	trace := []TraceJob{
+		{ID: 0, Arrival: 0, Boards: 8, Service: 1},
+		{ID: 1, Arrival: 0.1, Boards: 16, Service: 10, MinBoards: 2},
+	}
+	m, err := Run(4, 4, trace, nil, Config{Elastic: true, HorizonH: 100, RecordDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shrinks < 1 {
+		t.Errorf("Shrinks = %d, want ≥1 (job 1 should be admitted shrunk)", m.Shrinks)
+	}
+	if m.Regrows < 1 {
+		t.Errorf("Regrows = %d, want ≥1 (job 1 should regrow after job 0 completes)", m.Regrows)
+	}
+	if m.Completed != 2 {
+		t.Errorf("Completed = %d, want 2", m.Completed)
+	}
+	var sawShrink, sawRegrow bool
+	for _, d := range m.Decisions {
+		sawShrink = sawShrink || strings.Contains(d, "shrink job=1")
+		sawRegrow = sawRegrow || strings.Contains(d, "regrow job=1")
+	}
+	if !sawShrink || !sawRegrow {
+		t.Errorf("decision log missing shrink/regrow lines: shrink=%v regrow=%v", sawShrink, sawRegrow)
+	}
+	// Without Elastic the same trace leaves job 1 waiting for the full grid.
+	m2, err := Run(4, 4, trace, nil, Config{HorizonH: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Shrinks != 0 || m2.Regrows != 0 {
+		t.Errorf("rigid run recorded elastic activity: %+v", m2)
+	}
+	if m.WaitP99 > m2.WaitP99 {
+		t.Errorf("elastic wait %.3f worse than rigid %.3f", m.WaitP99, m2.WaitP99)
+	}
+}
+
+// TestElasticFailureTrim: an elastic full-grid job rides out a board failure
+// by trimming the failed row/column instead of being evicted.
+func TestElasticFailureTrim(t *testing.T) {
+	trace := []TraceJob{{ID: 0, Arrival: 0, Boards: 16, Service: 2, MinBoards: 4}}
+	fails := []FailEvent{{Time: 0.5, Board: [2]int{0, 0}}}
+	m, err := Run(4, 4, trace, fails, Config{Elastic: true, HorizonH: 100, CheckpointH: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0 (failure trim should keep the job running)", m.Evictions)
+	}
+	if m.Shrinks < 1 {
+		t.Errorf("Shrinks = %d, want ≥1", m.Shrinks)
+	}
+	if m.Completed != 1 {
+		t.Errorf("Completed = %d, want 1", m.Completed)
+	}
+	if m.LostBoardH != 0 {
+		t.Errorf("LostBoardH = %g, want 0 (trims are free re-baselines)", m.LostBoardH)
+	}
+	// Rigid comparison: the same failure evicts and rolls back.
+	m2, err := Run(4, 4, trace, fails, Config{HorizonH: 100, CheckpointH: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Evictions != 1 {
+		t.Errorf("rigid Evictions = %d, want 1", m2.Evictions)
+	}
+}
+
+// TestPreemption: a higher-priority arrival checkpoint-evicts a running
+// lower-priority job when the grid is full, and the victim requeues and
+// finishes later.
+func TestPreemption(t *testing.T) {
+	trace := []TraceJob{
+		{ID: 0, Arrival: 0, Boards: 16, Service: 10},
+		{ID: 1, Arrival: 1, Boards: 4, Service: 2, Priority: 2},
+	}
+	m, err := Run(4, 4, trace, nil, Config{Preempt: true, HorizonH: 200, CheckpointH: 3, RecordDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preemptions != 1 {
+		t.Errorf("Preemptions = %d, want 1", m.Preemptions)
+	}
+	if m.Completed != 2 {
+		t.Errorf("Completed = %d, want 2", m.Completed)
+	}
+	var sawPreempt bool
+	for _, d := range m.Decisions {
+		sawPreempt = sawPreempt || strings.Contains(d, "preempt victim=0 by=1")
+	}
+	if !sawPreempt {
+		t.Error("decision log missing preempt line")
+	}
+	// Victims pay the checkpoint rollback, unlike elastic trims.
+	if m.LostBoardH <= 0 {
+		t.Errorf("LostBoardH = %g, want >0 (victim rolls back)", m.LostBoardH)
+	}
+	// Priority ordering respected: equal/higher-priority jobs are safe.
+	m2, err := Run(4, 4, trace, nil, Config{HorizonH: 200, CheckpointH: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Preemptions != 0 {
+		t.Errorf("Preempt off still preempted %d times", m2.Preemptions)
+	}
+	samePrio := []TraceJob{
+		{ID: 0, Arrival: 0, Boards: 16, Service: 10, Priority: 2},
+		{ID: 1, Arrival: 1, Boards: 4, Service: 2, Priority: 2},
+	}
+	m3, err := Run(4, 4, samePrio, nil, Config{Preempt: true, HorizonH: 200, CheckpointH: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Preemptions != 0 {
+		t.Errorf("equal priority preempted %d times, want 0", m3.Preemptions)
+	}
+}
+
+// TestPreemptVictimOrder: the lowest-priority, largest victim dies first.
+func TestPreemptVictimOrder(t *testing.T) {
+	trace := []TraceJob{
+		{ID: 0, Arrival: 0, Boards: 8, Service: 10, Priority: 1},
+		{ID: 1, Arrival: 0, Boards: 8, Service: 10, Priority: 0},
+		{ID: 2, Arrival: 1, Boards: 8, Service: 1, Priority: 2},
+	}
+	m, err := Run(4, 4, trace, nil, Config{Preempt: true, HorizonH: 200, CheckpointH: 1, RecordDecisions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Preemptions != 1 {
+		t.Fatalf("Preemptions = %d, want 1", m.Preemptions)
+	}
+	for _, d := range m.Decisions {
+		if strings.Contains(d, "preempt victim=") && !strings.Contains(d, "preempt victim=1 ") {
+			t.Fatalf("wrong victim: %s", d)
+		}
+	}
+}
+
+// TestElasticInterferencePriced: shrunk placements are priced through the
+// contention model like any other (smoke: run completes with both on).
+func TestElasticCombinedFeaturesSmoke(t *testing.T) {
+	trace := Synthetic(TraceConfig{Jobs: 120, ArrivalRate: 8, MeanService: 5, MaxBoards: 48,
+		CommFrac: 0.6, ElasticFrac: 0.5, PriorityFrac: 0.3}, 11)
+	inf := &Interference{GroupBoards: 2, Taper: 0.25}
+	m, err := Run(8, 8, trace, nil, Config{
+		Policy:       BestFit,
+		Elastic:      true,
+		Preempt:      true,
+		Interference: inf,
+		Slowdown:     NewCommSlowdown(2, 2),
+		HorizonH:     60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if m.Shrinks == 0 && m.Preemptions == 0 && m.Restretches == 0 {
+		t.Errorf("no elastic/contention activity at all: %+v", m)
+	}
+}

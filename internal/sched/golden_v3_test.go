@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+)
+
+// goldenV3Trace is the contention-heavy scheduler-v3 golden input: an 8x8
+// grid with 2-board switch groups (so most multi-board placements cross the
+// tapered upper-layer fat-trees), communication-heavy jobs, and elastic and
+// priority marks drawn from the side RNG stream.
+func goldenV3Trace() []TraceJob {
+	return Synthetic(TraceConfig{
+		Jobs: 60, ArrivalRate: 8, MeanService: 5, MaxBoards: 48,
+		CommFrac: 0.6, ElasticFrac: 0.5, PriorityFrac: 0.3,
+	}, 2024)
+}
+
+func goldenV3Config(inf *Interference) Config {
+	return Config{
+		Policy: BestFit, CheckpointH: 2, HorizonH: 40,
+		Slowdown:        &CommSlowdown{BoardA: 2, BoardB: 2, GroupBoards: 2},
+		Interference:    inf,
+		Elastic:         true,
+		Preempt:         true,
+		RecordDecisions: true,
+	}
+}
+
+// The scheduler-v3 golden trace: joint contention pricing, elastic jobs and
+// priority preemption all on. The run replays an exact decision sequence —
+// contention-stretched admissions, re-stretches as the contention set
+// changes, shrunk admissions, regrows and preemptions. The complementary
+// guarantees stay pinned elsewhere: TestGoldenTrace and
+// TestGoldenBurstDefragReservationTrace replay bit-identically with all v3
+// features off, and TestInterferenceInertEquivalence shows an inert
+// contention model changes nothing. Update the constants only for
+// deliberate semantic changes, never to quiet a diff you cannot explain.
+func TestGoldenContentionElasticTrace(t *testing.T) {
+	inf := &Interference{GroupBoards: 2, Taper: 0.25}
+	m, err := Run(8, 8, goldenV3Trace(), nil, goldenV3Config(inf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head of the log: contention-priced admissions — job 5's 1x2
+	// placement lands at slow=4.96 (vs 2.68 solo for the same shape at
+	// job 0) because it interleaves with jobs 0 and 1 inside shared
+	// column groups.
+	wantHead := []string{
+		"t=0.0434 arrive job=0 boards=2 service=3.5321",
+		"t=0.0434 place job=0 shape=1x2 rows=[0] cols=[0 1] slow=2.6800 remaining=3.5321",
+		"t=0.5109 arrive job=1 boards=1 service=2.4641",
+		"t=0.5109 place job=1 shape=1x1 rows=[0] cols=[2] slow=1.0000 remaining=2.4641",
+		"t=0.6374 arrive job=2 boards=1 service=2.9725",
+		"t=0.6374 place job=2 shape=1x1 rows=[0] cols=[3] slow=1.0000 remaining=2.9725",
+		"t=1.0133 arrive job=3 boards=8 service=2.2540",
+		"t=1.0133 place job=3 shape=2x4 rows=[0 1] cols=[4 5 6 7] slow=4.0508 remaining=2.2540",
+		"t=1.0448 arrive job=4 boards=1 service=2.4616",
+		"t=1.0448 place job=4 shape=1x1 rows=[1] cols=[0] slow=1.0000 remaining=2.4616",
+		"t=1.0695 arrive job=5 boards=2 service=2.4476",
+		"t=1.0695 place job=5 shape=1x2 rows=[1] cols=[1 2] slow=4.9600 remaining=2.4476",
+	}
+	if len(m.Decisions) != 214 {
+		t.Fatalf("got %d decisions, want 214", len(m.Decisions))
+	}
+	for i, want := range wantHead {
+		if m.Decisions[i] != want {
+			t.Fatalf("decision %d:\n got %q\nwant %q", i, m.Decisions[i], want)
+		}
+	}
+	h := fnv.New64a()
+	h.Write([]byte(strings.Join(m.Decisions, "\n")))
+	if got := h.Sum64(); got != 0x49a4cd9613fef03a {
+		t.Fatalf("decision log hash %#016x, want 0x49a4cd9613fef03a", got)
+	}
+	gotMetrics := fmt.Sprintf("util=%.9f goodput=%.9f slowP99=%.9f", m.Utilization, m.Goodput, m.SlowP99)
+	wantMetrics := "util=0.662935219 goodput=0.192939676 slowP99=6.918924928"
+	if gotMetrics != wantMetrics {
+		t.Fatalf("metrics:\n got %s\nwant %s", gotMetrics, wantMetrics)
+	}
+	gotCounts := fmt.Sprintf("restretches=%d shrinks=%d regrows=%d preemptions=%d completed=%d",
+		m.Restretches, m.Shrinks, m.Regrows, m.Preemptions, m.Completed)
+	wantCounts := "restretches=26 shrinks=5 regrows=7 preemptions=1 completed=54"
+	if gotCounts != wantCounts {
+		t.Fatalf("counts:\n got %s\nwant %s", gotCounts, wantCounts)
+	}
+
+	// Interference pricing must move the headline numbers: the same trace
+	// priced in isolation (nil Interference) lands elsewhere.
+	iso, err := Run(8, 8, goldenV3Trace(), nil, goldenV3Config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Goodput == iso.Goodput || m.SlowP99 == iso.SlowP99 {
+		t.Fatalf("contention pricing did not move goodput (%.9f vs %.9f) or SlowP99 (%.9f vs %.9f)",
+			m.Goodput, iso.Goodput, m.SlowP99, iso.SlowP99)
+	}
+	if iso.Restretches != 0 {
+		t.Fatalf("isolation run restretched %d times, want 0", iso.Restretches)
+	}
+	// The joint solve is memoized: repeated contention sets hit the cache.
+	stats := inf.Stats()
+	if stats.Solves == 0 || stats.MemoHits == 0 {
+		t.Fatalf("contention solver stats %+v: expected both solves and memo hits", stats)
+	}
+}
+
+// TestInterferenceInertEquivalence pins the complementary off-switch
+// guarantee at the decision-log level: attaching a contention model whose
+// groups are wider than the grid (so every joint gamma is 1) replays the
+// v2 golden run byte-identically — the pricing path is exercised but
+// changes nothing.
+func TestInterferenceInertEquivalence(t *testing.T) {
+	trace := Synthetic(TraceConfig{Jobs: 50, ArrivalRate: 4, MeanService: 3, MaxBoards: 12, CommFrac: 0.3}, 2024)
+	base := Config{
+		Policy: BestFit, CheckpointH: 2, HorizonH: 40,
+		Slowdown: NewCommSlowdown(2, 2), Reservation: true,
+		DefragThreshold: 0.25, DefragCostH: 0.05, RecordDecisions: true,
+	}
+	plain, err := Run(4, 4, trace, nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withInert := base
+	withInert.Interference = &Interference{GroupBoards: 16} // 4x4 grid: one group, no shared uplinks
+	inert, err := Run(4, 4, trace, nil, withInert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Decisions) != len(inert.Decisions) {
+		t.Fatalf("decision counts differ: %d vs %d", len(plain.Decisions), len(inert.Decisions))
+	}
+	for i := range plain.Decisions {
+		if plain.Decisions[i] != inert.Decisions[i] {
+			t.Fatalf("decision %d differs:\nplain %q\ninert %q", i, plain.Decisions[i], inert.Decisions[i])
+		}
+	}
+	if plain.Goodput != inert.Goodput || plain.SlowP99 != inert.SlowP99 || inert.Restretches != 0 {
+		t.Fatalf("inert contention model moved metrics: %+v vs %+v", plain, inert)
+	}
+}

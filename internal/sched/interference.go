@@ -1,0 +1,453 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hammingmesh/internal/alloc"
+	"hammingmesh/internal/flowsim"
+	"hammingmesh/internal/routing"
+	"hammingmesh/internal/simcore"
+	"hammingmesh/internal/topo"
+)
+
+// JobTraffic is one running (or hypothetical) job's contribution to the
+// cluster's combined traffic matrix: its placement and the fraction of its
+// time spent communicating.
+type JobTraffic struct {
+	Placement *alloc.Placement
+	CommFrac  float64
+}
+
+// Interference prices cross-job contention on the shared upper-layer
+// fat-trees. Each job's alltoall traffic is decomposed per the HxMesh
+// dimension-ordered route — the row network at the source row, then the
+// column network at the destination column — into weighted demands on a
+// reduced contention network (one star-shaped tree per physical row and
+// column, with only the tapered group uplinks capacity-constrained), and
+// all jobs are priced jointly with the flow solver's weighted max-min
+// fill (flowsim.TenantShares). The resulting contention factor for job j,
+//
+//	γ_j = soloShare_j / jointShare_j ≥ 1,
+//
+// is 1 exactly when j's upper-layer traffic is unaffected by the other
+// jobs (self-congestion divides out: it is already priced by
+// CommSlowdown's shape and spread terms), and grows as contenders steal
+// tapered uplink bandwidth.
+//
+// Results are memoized by a canonical fingerprint of the placement set
+// (grid dims + sorted per-job signatures, job identity excluded), so
+// repeated pricing of the same contention set — including across sweep
+// trials and workers — is deterministic and cheap. All methods are safe
+// for concurrent use; one Interference is shared across a sweep.
+type Interference struct {
+	// BoardA, BoardB are accelerators per board dimension (zeros mean 2×2).
+	BoardA, BoardB int
+	// GroupBoards is the L1 fat-tree group width (zero means 16, matching
+	// alloc and CommSlowdown). Grids no wider than one group have no
+	// shared upper layer and every γ is 1.
+	GroupBoards int
+	// Taper scales the group uplink capacity (zero means 1 = full
+	// bandwidth; the paper's economical builds taper 2:1..3:1, i.e. 0.5
+	// or 0.33).
+	Taper float64
+	// MemoCap bounds the joint-pricing memo (zero means 4096); when full
+	// the memo is cleared whole, keeping behaviour deterministic.
+	MemoCap int
+
+	mu    sync.Mutex
+	nets  map[[2]int]*contentionNet
+	memo  map[string][]float64 // joint shares, sorted-signature order
+	solo  map[string]float64   // single-job shares by grid+signature
+	stats InterferenceStats
+}
+
+// InterferenceStats counts memo effectiveness for the bench harness.
+type InterferenceStats struct {
+	Solves   int64 // joint pricings computed by the flow solver
+	MemoHits int64 // joint pricings answered from the memo
+}
+
+// Stats returns cumulative counters.
+func (in *Interference) Stats() InterferenceStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// contentionNet is the reduced upper-layer network of one grid size: Y row
+// trees and X column trees, disjoint, each a two-level star whose only
+// constrained links are the tapered group uplinks.
+type contentionNet struct {
+	solver *flowsim.Solver
+	rowEp  [][]topo.NodeID // [row][col] endpoint in row tree `row`
+	colEp  [][]topo.NodeID // [col][row] endpoint in column tree `col`
+}
+
+func (in *Interference) defaults() (a, b, group int, taper float64, memoCap int) {
+	a, b = in.BoardA, in.BoardB
+	if a <= 0 {
+		a = 2
+	}
+	if b <= 0 {
+		b = 2
+	}
+	group = in.GroupBoards
+	if group <= 0 {
+		group = 16
+	}
+	taper = in.Taper
+	if taper <= 0 {
+		taper = 1
+	}
+	memoCap = in.MemoCap
+	if memoCap <= 0 {
+		memoCap = 4096
+	}
+	return
+}
+
+// net returns (building on first use) the contention network for an X×Y
+// grid. Caller holds in.mu.
+func (in *Interference) net(X, Y int) *contentionNet {
+	key := [2]int{X, Y}
+	if cn, ok := in.nets[key]; ok {
+		return cn
+	}
+	a, b, group, taper, _ := in.defaults()
+	cable := topo.DefaultLinkParams().GBps
+	const unconstrained = 1e12
+	n := &topo.Network{Name: fmt.Sprintf("sched-contention-%dx%d-g%d", X, Y, group)}
+	lat := topo.DefaultLinkParams().CableNS
+
+	// buildTree adds one dimension tree with `width` endpoints grouped by
+	// `group`; uplinkGBps is the per-board tapered upper-layer capacity.
+	buildTree := func(width int, perBoardUp float64) []topo.NodeID {
+		eps := make([]topo.NodeID, width)
+		nGroups := (width + group - 1) / group
+		var root topo.NodeID = topo.None
+		if nGroups > 1 {
+			root = n.AddNode(topo.Switch)
+		}
+		for gi := 0; gi < nGroups; gi++ {
+			l1 := n.AddNode(topo.Switch)
+			lo, hi := gi*group, (gi+1)*group
+			if hi > width {
+				hi = width
+			}
+			for x := lo; x < hi; x++ {
+				eps[x] = n.AddNode(topo.Endpoint)
+				n.Link(eps[x], l1, topo.AoC, unconstrained, lat)
+			}
+			if root != topo.None {
+				n.Link(l1, root, topo.AoC, taper*float64(hi-lo)*perBoardUp, lat)
+			}
+		}
+		return eps
+	}
+
+	cn := &contentionNet{
+		rowEp: make([][]topo.NodeID, Y),
+		colEp: make([][]topo.NodeID, X),
+	}
+	for r := 0; r < Y; r++ {
+		cn.rowEp[r] = buildTree(X, 2*float64(b)*cable)
+	}
+	for c := 0; c < X; c++ {
+		cn.colEp[c] = buildTree(Y, 2*float64(a)*cable)
+	}
+	comp := simcore.Compile(n) // private net: skip the interning cache
+	cn.solver = flowsim.New(comp, routing.NewTable(comp), flowsim.Config{PathsPerFlow: 1, Seed: 1})
+	if in.nets == nil {
+		in.nets = make(map[[2]int]*contentionNet)
+	}
+	in.nets[key] = cn
+	return cn
+}
+
+// signature is the canonical per-job fingerprint: contention pricing
+// depends only on the placement geometry and comm fraction, never on job
+// identity.
+func jobSignature(j JobTraffic) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatFloat(j.CommFrac, 'g', 9, 64))
+	sb.WriteByte('r')
+	for _, r := range j.Placement.Rows {
+		sb.WriteString(strconv.Itoa(r))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('c')
+	for _, c := range j.Placement.Cols {
+		sb.WriteString(strconv.Itoa(c))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// demandsFor appends job t's alltoall demands on the contention net.
+// Dimension-ordered routing splits each ordered board pair into a
+// row-tree segment at the source row and a column-tree segment at the
+// destination column; segments are aggregated per (src, dst) endpoint
+// pair.
+func (in *Interference) demandsFor(cn *contentionNet, j JobTraffic, tenant int32, agg map[[2]topo.NodeID]float64) {
+	a, b, _, _, _ := in.defaults()
+	p := j.Placement
+	nBoards := p.U() * p.V()
+	if nBoards <= 1 || j.CommFrac <= 0 {
+		return
+	}
+	cable := topo.DefaultLinkParams().GBps
+	ab := float64(a * b)
+	// Per-board injection 4ab·cable·cf, spread uniformly over the job's
+	// other accelerators; the slice aimed at one specific other board:
+	w := 4 * ab * cable * j.CommFrac * ab / (float64(nBoards)*ab - 1)
+	add := func(src, dst topo.NodeID) {
+		agg[[2]topo.NodeID{src, dst}] += w
+	}
+	for _, r1 := range p.Rows {
+		for _, c1 := range p.Cols {
+			for _, r2 := range p.Rows {
+				for _, c2 := range p.Cols {
+					switch {
+					case r1 == r2 && c1 == c2:
+					case r1 == r2:
+						add(cn.rowEp[r1][c1], cn.rowEp[r1][c2])
+					case c1 == c2:
+						add(cn.colEp[c1][r1], cn.colEp[c1][r2])
+					default:
+						add(cn.rowEp[r1][c1], cn.rowEp[r1][c2])
+						add(cn.colEp[c2][r1], cn.colEp[c2][r2])
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectDemands flattens per-job aggregated demands in canonical order.
+func collectDemands(aggs []map[[2]topo.NodeID]float64) []flowsim.Demand {
+	var out []flowsim.Demand
+	for t, agg := range aggs {
+		keys := make([][2]topo.NodeID, 0, len(agg))
+		for k := range agg {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			out = append(out, flowsim.Demand{Src: k[0], Dst: k[1], Weight: agg[k], Tenant: int32(t)})
+		}
+	}
+	return out
+}
+
+// Gammas prices the given jobs jointly on an X×Y grid and returns each
+// job's contention factor γ ≥ 1 (γ=1: no cross-job interference on its
+// upper-layer traffic). Jobs with no inter-board communication always get
+// γ = 1. Pricing failures degrade to γ = 1 rather than poisoning the
+// schedule.
+func (in *Interference) Gammas(X, Y int, jobs []JobTraffic) []float64 {
+	out := make([]float64, len(jobs))
+	for i := range out {
+		out[i] = 1
+	}
+	if len(jobs) == 0 {
+		return out
+	}
+	_, _, group, _, memoCap := in.defaults()
+	if X <= group && Y <= group {
+		return out // no shared upper layer anywhere on this grid
+	}
+
+	// Canonical order: sort job indices by signature; tenant ids and the
+	// memo key follow that order, so γ never depends on caller ordering.
+	sigs := make([]string, len(jobs))
+	for i, j := range jobs {
+		sigs[i] = jobSignature(j)
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return sigs[order[i]] < sigs[order[j]] })
+	var kb strings.Builder
+	fmt.Fprintf(&kb, "%dx%d|", X, Y)
+	for _, i := range order {
+		kb.WriteString(sigs[i])
+		kb.WriteByte('|')
+	}
+	key := kb.String()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	joint, ok := in.memo[key]
+	if ok {
+		in.stats.MemoHits++
+	} else {
+		in.stats.Solves++
+		cn := in.net(X, Y)
+		aggs := make([]map[[2]topo.NodeID]float64, len(order))
+		for t, i := range order {
+			aggs[t] = make(map[[2]topo.NodeID]float64)
+			in.demandsFor(cn, jobs[i], int32(t), aggs[t])
+		}
+		shares, err := cn.solver.TenantShares(collectDemands(aggs), len(order))
+		if err != nil {
+			shares = make([]float64, len(order))
+			for t := range shares {
+				shares[t] = 1
+			}
+		}
+		joint = shares
+		if in.memo == nil {
+			in.memo = make(map[string][]float64)
+		}
+		if len(in.memo) >= memoCap {
+			in.memo = make(map[string][]float64)
+		}
+		in.memo[key] = joint
+	}
+
+	gridKey := fmt.Sprintf("%dx%d|", X, Y)
+	for t, i := range order {
+		solo := in.soloShareLocked(X, Y, gridKey, sigs[i], jobs[i])
+		g := 1.0
+		if joint[t] > 0 {
+			g = solo / joint[t]
+		}
+		if g < 1 {
+			g = 1
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// gammaFor prices a hypothetical placement for a job against the current
+// running set (excluding job `exclude`, which is the job being priced when
+// it is already running — regrow and failure trims re-price in place).
+func (s *sim) gammaFor(p *alloc.Placement, tj TraceJob, exclude int32) float64 {
+	if s.cfg.Interference == nil {
+		return 1
+	}
+	var traffic []JobTraffic
+	for i := range s.jobs {
+		if int32(i) != exclude && s.jobs[i].running {
+			traffic = append(traffic, JobTraffic{Placement: s.jobs[i].p, CommFrac: s.jobs[i].tj.CommFrac})
+		}
+	}
+	traffic = append(traffic, JobTraffic{Placement: p, CommFrac: tj.CommFrac})
+	g := s.cfg.Interference.Gammas(s.grid.X, s.grid.Y, traffic)
+	return g[len(g)-1]
+}
+
+// priceSlowdown is the admission-time slowdown of a placement: the model's
+// isolation price, contention-stretched through ContendedSlowdown when
+// interference is on and the model supports it. The elastic width ratio is
+// the caller's (it depends on the boards actually allocated).
+func (s *sim) priceSlowdown(p *alloc.Placement, tj TraceJob, exclude int32) (slow, gamma float64) {
+	gamma = s.gammaFor(p, tj, exclude)
+	if cm, ok := s.cfg.Slowdown.(ContentionSlowdownModel); ok && gamma > 1 {
+		slow = cm.ContendedSlowdown(p, tj, gamma)
+	} else {
+		slow = s.cfg.Slowdown.Slowdown(p, tj)
+	}
+	if slow < 1 {
+		slow = 1
+	}
+	return slow, gamma
+}
+
+// reprice re-stretches every running job whose contention factor changed:
+// the end of each scheduling pass recomputes the joint γ of the running
+// set, and any job whose priced slowdown moved is re-baselined at t (its
+// progress so far is credited at the old slowdown, its completion event is
+// epoch-bumped and rescheduled at the new one — the same staleness
+// mechanism rollback uses). A no-op when interference is off, keeping
+// decision logs byte-identical.
+func (s *sim) reprice(t float64) {
+	if s.cfg.Interference == nil {
+		return
+	}
+	cm, _ := s.cfg.Slowdown.(ContentionSlowdownModel)
+	var idxs []int32
+	var traffic []JobTraffic
+	for i := range s.jobs {
+		if s.jobs[i].running {
+			idxs = append(idxs, int32(i))
+			traffic = append(traffic, JobTraffic{Placement: s.jobs[i].p, CommFrac: s.jobs[i].tj.CommFrac})
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+	gammas := s.cfg.Interference.Gammas(s.grid.X, s.grid.Y, traffic)
+	changed := false
+	for k, idx := range idxs {
+		j := &s.jobs[idx]
+		gamma := gammas[k]
+		var slow float64
+		if cm != nil && gamma > 1 {
+			slow = cm.ContendedSlowdown(j.p, j.tj, gamma)
+		} else {
+			slow = s.cfg.Slowdown.Slowdown(j.p, j.tj)
+		}
+		if slow < 1 {
+			slow = 1
+		}
+		if wf := float64(j.tj.Boards) / float64(j.allocBoards); wf > 1 {
+			slow *= wf
+		}
+		if slow == j.slowdown {
+			j.gamma = gamma
+			continue
+		}
+		s.rebaseline(idx, j, t, slow)
+		j.gamma = gamma
+		s.met.Restretches++
+		changed = true
+		s.logf("t=%.4f stretch job=%d gamma=%.4f slow=%.4f", t, j.tj.ID, gamma, slow)
+	}
+	if changed && s.resJob >= 0 {
+		// Re-stretching moved completion times, so the reservation's
+		// shadow projection is stale; recompute it against the new
+		// schedule.
+		idx := s.resJob
+		s.resJob = -1
+		s.reserve(t, idx, &s.jobs[idx])
+	}
+}
+
+// soloShareLocked returns (memoized) the share job j achieves alone on the
+// grid's contention net. Caller holds in.mu.
+func (in *Interference) soloShareLocked(X, Y int, gridKey, sig string, j JobTraffic) float64 {
+	key := gridKey + sig
+	if s, ok := in.solo[key]; ok {
+		return s
+	}
+	cn := in.net(X, Y)
+	agg := make(map[[2]topo.NodeID]float64)
+	in.demandsFor(cn, j, 0, agg)
+	s := 1.0
+	if len(agg) > 0 {
+		shares, err := cn.solver.TenantShares(collectDemands([]map[[2]topo.NodeID]float64{agg}), 1)
+		if err == nil {
+			s = shares[0]
+		}
+	}
+	if in.solo == nil {
+		in.solo = make(map[string]float64)
+	}
+	if len(in.solo) >= 4096 {
+		in.solo = make(map[string]float64)
+	}
+	in.solo[key] = s
+	return s
+}

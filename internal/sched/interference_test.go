@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"hammingmesh/internal/alloc"
+)
+
+// placeAt builds a placement over explicit row/col indices.
+func placeAt(rows, cols []int) *alloc.Placement {
+	return &alloc.Placement{Rows: rows, Cols: cols}
+}
+
+func TestInterferenceSmallGridInert(t *testing.T) {
+	// A grid that fits inside one L1 group has no shared upper layer:
+	// every γ is exactly 1 no matter how crowded.
+	in := &Interference{BoardA: 2, BoardB: 2, GroupBoards: 16}
+	jobs := []JobTraffic{
+		{Placement: placeAt([]int{0, 1}, []int{0, 1}), CommFrac: 0.9},
+		{Placement: placeAt([]int{2, 3}, []int{0, 1}), CommFrac: 0.9},
+		{Placement: placeAt([]int{0, 1, 2, 3}, []int{2, 3}), CommFrac: 0.9},
+	}
+	for i, g := range in.Gammas(8, 8, jobs) {
+		if g != 1 {
+			t.Fatalf("γ[%d] = %v on a single-group grid, want 1", i, g)
+		}
+	}
+}
+
+func TestInterferenceGammaMonotoneInContenders(t *testing.T) {
+	// Group width 2 on an 8×8 grid: placements spanning column groups
+	// fight over the tapered row-tree uplinks. Contention needs a shared
+	// tree AND a shared group uplink, so the jobs interleave columns
+	// within the same rows (boards stay disjoint).
+	in := &Interference{BoardA: 2, BoardB: 2, GroupBoards: 2, Taper: 0.25}
+	obs := JobTraffic{Placement: placeAt([]int{0, 1}, []int{0, 2}), CommFrac: 0.8}
+	contenders := [][]int{{1, 5}, {3, 7}, {4, 6}}
+	prev := 0.0
+	for k := 0; k <= 3; k++ {
+		jobs := []JobTraffic{obs}
+		for j := 0; j < k; j++ {
+			jobs = append(jobs, JobTraffic{
+				Placement: placeAt([]int{0, 1}, contenders[j]),
+				CommFrac:  0.8,
+			})
+		}
+		g := in.Gammas(8, 8, jobs)[0]
+		if g < 1 {
+			t.Fatalf("γ = %v < 1 with %d contenders", g, k)
+		}
+		if g < prev-1e-9 {
+			t.Fatalf("γ decreased with more contenders: %v -> %v at k=%d", prev, g, k)
+		}
+		prev = g
+	}
+	if prev <= 1 {
+		t.Fatalf("γ = %v after 3 co-located contenders, want > 1", prev)
+	}
+}
+
+func TestInterferenceDisjointJobsNoGamma(t *testing.T) {
+	in := &Interference{BoardA: 2, BoardB: 2, GroupBoards: 2, Taper: 0.25}
+	// Two jobs on disjoint rows AND disjoint columns: no shared tree at
+	// all, so neither sees contention (each may self-congest, but that
+	// divides out).
+	jobs := []JobTraffic{
+		{Placement: placeAt([]int{0, 1}, []int{0, 1, 2, 3}), CommFrac: 0.8},
+		{Placement: placeAt([]int{4, 5}, []int{4, 5, 6, 7}), CommFrac: 0.8},
+	}
+	for i, g := range in.Gammas(8, 8, jobs) {
+		if math.Abs(g-1) > 1e-9 {
+			t.Fatalf("γ[%d] = %v for tree-disjoint jobs, want 1", i, g)
+		}
+	}
+}
+
+func TestInterferenceOrderInvariantAndMemoized(t *testing.T) {
+	mk := func() []JobTraffic {
+		return []JobTraffic{
+			{Placement: placeAt([]int{0, 1}, []int{0, 1, 2, 3, 4, 5}), CommFrac: 0.7},
+			{Placement: placeAt([]int{2, 3}, []int{0, 1, 2, 3, 4, 5}), CommFrac: 0.5},
+			{Placement: placeAt([]int{0, 2}, []int{0, 5}), CommFrac: 0.9},
+		}
+	}
+	in := &Interference{BoardA: 2, BoardB: 2, GroupBoards: 2, Taper: 0.25}
+	a := in.Gammas(8, 8, mk())
+	// Same set, permuted caller order: per-job γ must be identical.
+	jobs := mk()
+	perm := []JobTraffic{jobs[2], jobs[0], jobs[1]}
+	b := in.Gammas(8, 8, perm)
+	if a[0] != b[1] || a[1] != b[2] || a[2] != b[0] {
+		t.Fatalf("γ depends on caller order: %v vs %v", a, b)
+	}
+	st := in.Stats()
+	if st.Solves != 1 || st.MemoHits != 1 {
+		t.Fatalf("memo not effective: %+v (want 1 solve, 1 hit)", st)
+	}
+	// A fresh Interference must reproduce the same numbers (cold vs warm).
+	in2 := &Interference{BoardA: 2, BoardB: 2, GroupBoards: 2, Taper: 0.25}
+	c := in2.Gammas(8, 8, mk())
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("cold recomputation diverges: %v vs %v", a, c)
+		}
+	}
+}
+
+func TestInterferenceNoCommNoGamma(t *testing.T) {
+	in := &Interference{BoardA: 2, BoardB: 2, GroupBoards: 2, Taper: 0.25}
+	jobs := []JobTraffic{
+		{Placement: placeAt([]int{0, 1}, []int{0, 1, 2, 3, 4, 5, 6, 7}), CommFrac: 0},
+		{Placement: placeAt([]int{0}, []int{0}), CommFrac: 0.9}, // single board
+		{Placement: placeAt([]int{2, 3}, []int{0, 1, 2, 3, 4, 5, 6, 7}), CommFrac: 0.8},
+	}
+	g := in.Gammas(8, 8, jobs)
+	if g[0] != 1 || g[1] != 1 {
+		t.Fatalf("comm-free jobs must get γ=1: %v", g)
+	}
+}

@@ -96,6 +96,28 @@ type Config struct {
 	// trace second). Recording never perturbs the run — decisions and
 	// metrics stay bit-identical (obs contract, like observer).
 	Trace *obs.Recorder
+	// Interference, when non-nil, prices cross-job contention on the
+	// shared upper-layer fat-trees: placements are admitted and backfilled
+	// at their contention-stretched slowdown, and running jobs are
+	// re-stretched (epoch-bumped, like rollback) whenever the contention
+	// set changes. Contention reaches job runtimes only through a
+	// Slowdown model implementing ContentionSlowdownModel; nil keeps the
+	// isolation pricing byte-identical to earlier behaviour.
+	Interference *Interference
+	// Elastic enables malleable jobs: a queued job with MinBoards set
+	// shrinks (by halving steps) to a smaller feasible shape instead of
+	// waiting, stretches by the width ratio while shrunk, regrows toward
+	// full width when the queue drains, and rides out board failures by
+	// trimming the failed row/column instead of evicting. Elastic
+	// reconfiguration is a free instant re-baseline (malleable frameworks
+	// reshard in memory), unlike evictions, which still roll back to the
+	// last checkpoint.
+	Elastic bool
+	// Preempt enables priority preemption: when a job with a higher
+	// TraceJob.Priority cannot be placed, the smallest prefix of
+	// strictly-lower-priority running jobs whose eviction frees a feasible
+	// placement is checkpoint-evicted and requeued.
+	Preempt bool
 
 	// observer, when set (in-package tests only), is called after every
 	// processed event with the live simulation state — the hook behind the
@@ -176,6 +198,16 @@ type Metrics struct {
 	// MigratedBoardH is the migration overhead charged as lost work, in
 	// board-hours (included in LostBoardH).
 	MigratedBoardH float64
+	// Restretches counts running-job re-pricings applied because the
+	// contention set changed (Config.Interference).
+	Restretches int
+	// Shrinks counts elastic width reductions (shrunk admissions and
+	// failure trims); Regrows counts elastic expansions back toward full
+	// width (Config.Elastic).
+	Shrinks, Regrows int
+	// Preemptions counts lower-priority jobs checkpoint-evicted to admit
+	// a higher-priority job (Config.Preempt).
+	Preemptions int
 	// Decisions is the chronological decision log (only when
 	// Config.RecordDecisions is set).
 	Decisions []string
@@ -292,6 +324,11 @@ type jobState struct {
 	// overhead baked into the current placement's schedule, excluded from
 	// checkpoint progress on eviction.
 	overheadPending, runOverheadH float64
+	// allocBoards is the board count of the current placement (elastic
+	// jobs may run below tj.Boards, paying the width ratio in slowdown);
+	// gamma is the contention factor priced into the current slowdown.
+	allocBoards int
+	gamma       float64
 }
 
 // sim is one in-flight run.
@@ -319,6 +356,11 @@ type sim struct {
 
 	largeBoards int     // "large job" threshold for MaxWaitLarge
 	lastDefragT float64 // last defragmentation pass (-Inf before the first)
+
+	// pendingRequeue holds jobs evicted mid-pass (preemption victims):
+	// they rejoin the queue after the current scan's rebuild, so the scan
+	// slice is never mutated underfoot.
+	pendingRequeue []int32
 
 	// pendingFailSched is set when a board failure deferred its scheduling
 	// pass because more failures land at the same instant (a correlated
@@ -440,8 +482,9 @@ func (s *sim) onArrive(ev event) {
 	s.logf("t=%.4f arrive job=%d boards=%d service=%.4f", ev.t, j.tj.ID, j.tj.Boards, j.tj.Service)
 	// A job no allowed shape of which fits the grid dimensions can never
 	// run (the criterion behind the allocator's typed *ErrNeverFits);
-	// anything else queues and waits for capacity.
-	if !s.grid.FitsDims(j.u, j.v, s.opts) {
+	// anything else queues and waits for capacity. An elastic job whose
+	// full shape is too big still queues if some shrunk width fits.
+	if !s.grid.FitsDims(j.u, j.v, s.opts) && !s.elasticFitsDims(j) {
 		j.rejected = true
 		s.met.Rejected++
 		err := &alloc.ErrNeverFits{Job: ev.idx, U: j.u, V: j.v, X: s.grid.X, Y: s.grid.Y}
@@ -489,6 +532,12 @@ func (s *sim) trySchedule(t float64) {
 			continue
 		}
 		p := s.findPlacement(s.grid, idx, j)
+		if p == nil && s.cfg.Elastic {
+			p = s.findShrunkPlacement(idx, j)
+		}
+		if p == nil {
+			p = s.tryPreempt(idx, j, t)
+		}
 		if p == nil {
 			if s.cfg.Reservation && !reserveTried {
 				// Only the first blocked job reserves (EASY); if no
@@ -503,6 +552,12 @@ func (s *sim) trySchedule(t float64) {
 		s.start(idx, j, p, t)
 	}
 	s.queue = append([]int32(nil), kept...)
+	if len(s.pendingRequeue) > 0 {
+		s.queue = append(s.queue, s.pendingRequeue...)
+		s.pendingRequeue = s.pendingRequeue[:0]
+	}
+	s.tryRegrow(t)
+	s.reprice(t)
 }
 
 // start commits a candidate placement and schedules the job's completion.
@@ -517,9 +572,14 @@ func (s *sim) start(idx int32, j *jobState, p *alloc.Placement, t float64) {
 	j.p = p
 	j.startT = t
 	j.wait += t - j.queuedAt
-	j.slowdown = s.cfg.Slowdown.Slowdown(p, j.tj)
-	if j.slowdown < 1 {
-		j.slowdown = 1
+	j.allocBoards = p.U() * p.V()
+	j.slowdown, j.gamma = s.priceSlowdown(p, j.tj, idx)
+	if wf := float64(j.tj.Boards) / float64(j.allocBoards); wf > 1 {
+		// Elastic shrink: the job runs below its requested width and pays
+		// the ratio on top of the placement slowdown.
+		j.slowdown *= wf
+		s.met.Shrinks++
+		s.logf("t=%.4f shrink job=%d boards=%d->%d", t, j.tj.ID, j.tj.Boards, j.allocBoards)
 	}
 	j.runOverheadH = j.overheadPending
 	j.overheadPending = 0
@@ -536,7 +596,13 @@ func (s *sim) start(idx int32, j *jobState, p *alloc.Placement, t float64) {
 // search on shadow grids and lets backfill veto a placement before it
 // lands.
 func (s *sim) findPlacement(g *alloc.Grid, idx int32, j *jobState) *alloc.Placement {
-	cands := g.PlaceCandidates(idx, j.u, j.v, s.opts)
+	return s.findPlacementShape(g, idx, j.u, j.v)
+}
+
+// findPlacementShape is findPlacement for an explicit shape (elastic
+// shrink admissions search smaller shapes than the job's request).
+func (s *sim) findPlacementShape(g *alloc.Grid, idx int32, u, v int) *alloc.Placement {
+	cands := g.PlaceCandidates(idx, u, v, s.opts)
 	if len(cands) == 0 {
 		return nil
 	}
@@ -640,16 +706,15 @@ func (s *sim) reserve(now float64, idx int32, j *jobState) {
 // tryBackfill places a job behind an active reservation if doing so cannot
 // delay it: the job either finishes (including pending migration overhead)
 // before the reservation starts, or its boards are disjoint from the
-// reserved set.
+// reserved set. The finish estimate is contention-priced when interference
+// is on — an isolation estimate would optimistically admit backfills whose
+// contention-stretched runtimes overlap the reservation.
 func (s *sim) tryBackfill(idx int32, j *jobState, t float64) bool {
 	p := s.findPlacement(s.grid, idx, j)
 	if p == nil {
 		return false
 	}
-	slow := s.cfg.Slowdown.Slowdown(p, j.tj)
-	if slow < 1 {
-		slow = 1
-	}
+	slow, _ := s.priceSlowdown(p, j.tj, idx)
 	finish := t + j.overheadPending + j.remaining*slow
 	if finish > s.resTime+1e-9 && s.overlapsReservation(p) {
 		return false
@@ -706,6 +771,19 @@ func (s *sim) onFail(ev event) {
 	}
 	s.met.Failures++
 	s.emitInstant(traceTidCluster, "board-fail", ev.t)
+	if s.cfg.Elastic {
+		if owner := s.grid.Owner(bx, by); owner >= 0 && s.tryFailureShrink(owner, bx, by, ev.t) {
+			// The trim freed the failed board (with the rest of its row or
+			// column); mark it down without evicting anyone.
+			s.grid.Fail(bx, by)
+			if s.cfg.RepairH > 0 {
+				s.events.push(event{t: ev.t + s.cfg.RepairH, kind: evRepair, board: ev.board})
+			}
+			s.logf("t=%.4f fail board=(%d,%d) shrink=%d", ev.t, bx, by, s.jobs[owner].tj.ID)
+			s.rescheduleAfterFail(ev.t)
+			return
+		}
+	}
 	victim := s.grid.Fail(bx, by)
 	if s.cfg.RepairH > 0 {
 		s.events.push(event{t: ev.t + s.cfg.RepairH, kind: evRepair, board: ev.board})

@@ -18,6 +18,16 @@ type SlowdownModel interface {
 	Slowdown(p *alloc.Placement, job TraceJob) float64
 }
 
+// ContentionSlowdownModel extends SlowdownModel with joint pricing: gamma
+// is the cross-job contention factor of the job's upper-layer traffic
+// (≥ 1, from Interference), scaling the upper-layer crossing cost. A gamma
+// of 1 must reproduce Slowdown exactly, so isolation pricing is the
+// contended model's fixed point.
+type ContentionSlowdownModel interface {
+	SlowdownModel
+	ContendedSlowdown(p *alloc.Placement, job TraceJob, gamma float64) float64
+}
+
 // NoSlowdown ignores placement: every job runs at its ideal service time.
 type NoSlowdown struct{}
 
@@ -28,8 +38,9 @@ func (NoSlowdown) Slowdown(*alloc.Placement, TraceJob) float64 { return 1 }
 // its placement delivers. A u×v placement forms a virtual sub-HxMesh with
 // the network properties of a physical u×v HxMesh (§III-E), so the shape
 // term is the alltoall share of that virtual mesh — estimated once per
-// distinct shape with the flow-level solver and cached (large shapes fall
-// back to the closed-form §III-A bound, which the estimate converges to).
+// distinct shape with the flow-level solver and cached (large shapes use
+// the closed-form §III-A finite-mesh bound, calibrated to the flow
+// estimate at the MaxAccels boundary so the two regimes meet continuously).
 // On top of the shape term, the concrete placement pays for its spread: the
 // fraction of dimension-network traversals crossing the upper fat-tree
 // layer (the Fig. 9 quantity) scales the communication cost by
@@ -47,10 +58,15 @@ type CommSlowdown struct {
 	// GroupBoards is the L1 fat-tree group width for the upper-layer
 	// fraction (zero means 16, as in alloc).
 	GroupBoards int
-	// UpperPenalty scales the upper-layer crossing cost (zero means 1).
+	// UpperPenalty scales the upper-layer crossing cost. Zero means the
+	// default of 1; a negative value explicitly disables the penalty
+	// (upper-layer crossings become free). The negative sentinel keeps
+	// "unset" and "off" distinguishable — the zero value of an options
+	// struct must mean "default", never silently forbid a setting.
 	UpperPenalty float64
 	// MaxAccels caps the size of the virtual mesh the flow solver
-	// evaluates; larger shapes use the analytic bound. Zero means 1024.
+	// evaluates; larger shapes use the calibrated analytic bound. Zero
+	// means 1024.
 	MaxAccels int
 	// Shifts is the number of sampled alltoall shifts per shape estimate
 	// (zero means 4).
@@ -58,6 +74,11 @@ type CommSlowdown struct {
 
 	mu    sync.Mutex
 	cache map[[2]int]*shapeSlot
+
+	// refOnce computes the analytic-bound calibration anchor (the largest
+	// square shape the flow solver still evaluates) exactly once.
+	refOnce  sync.Once
+	refScale float64
 }
 
 type shapeSlot struct {
@@ -91,21 +112,36 @@ func (m *CommSlowdown) defaults() (a, b, group, maxAccels, shifts int, penalty f
 	if shifts <= 0 {
 		shifts = 4
 	}
+	// Zero means unset (default 1); negative is the explicit "disabled"
+	// sentinel. Coercing every non-positive value to 1 — the old behaviour
+	// — made the penalty impossible to turn off.
 	penalty = m.UpperPenalty
-	if penalty <= 0 {
+	if penalty == 0 {
 		penalty = 1
+	} else if penalty < 0 {
+		penalty = 0
 	}
 	return
 }
 
 // Slowdown implements SlowdownModel.
 func (m *CommSlowdown) Slowdown(p *alloc.Placement, job TraceJob) float64 {
+	return m.ContendedSlowdown(p, job, 1)
+}
+
+// ContendedSlowdown implements ContentionSlowdownModel: gamma scales the
+// upper-layer crossing cost by the job's cross-job contention factor.
+// ContendedSlowdown(p, job, 1) == Slowdown(p, job) bit for bit.
+func (m *CommSlowdown) ContendedSlowdown(p *alloc.Placement, job TraceJob, gamma float64) float64 {
 	cf := job.CommFrac
 	if cf <= 0 {
 		return 1
 	}
 	if cf > 1 {
 		cf = 1
+	}
+	if gamma < 1 {
+		gamma = 1
 	}
 	_, _, group, _, _, penalty := m.defaults()
 	u, v := p.U(), p.V()
@@ -114,7 +150,7 @@ func (m *CommSlowdown) Slowdown(p *alloc.Placement, job TraceJob) float64 {
 	if share <= 0 {
 		share = 1e-3 // defensive; flowsim shares are strictly positive
 	}
-	commCost := (ref / share) * (1 + penalty*alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, group))
+	commCost := (ref / share) * (1 + penalty*gamma*alloc.UpperLayerFraction(p, alloc.TrafficAlltoall, group))
 	if commCost < 1 {
 		commCost = 1
 	}
@@ -141,17 +177,27 @@ func (m *CommSlowdown) shapeShare(u, v int) float64 {
 }
 
 func (m *CommSlowdown) computeShare(u, v int) float64 {
-	a, b, _, maxAccels, shifts, _ := m.defaults()
+	a, b, _, maxAccels, _, _ := m.defaults()
 	if u*v <= 1 {
 		// Single board: communication stays on the PCB mesh at full
 		// bandwidth; the shape term is the reference itself.
 		return 1
 	}
 	if u*v*a*b > maxAccels {
-		// Large shapes: the closed-form §III-A bound the flow estimate
-		// converges to, normalized like the solver output.
-		return analysis.AlltoallShare(a, b)
+		// Large shapes: the closed-form finite-mesh bound, calibrated so
+		// it meets the flow estimate at the MaxAccels boundary. The old
+		// code returned the shape-independent asymptotic AlltoallShare(a,b)
+		// here, pricing every large placement identically — exactly where
+		// spread matters most.
+		return analysis.AlltoallShareMesh(a, b, u, v) * m.boundaryScale()
 	}
+	return m.flowShare(u, v)
+}
+
+// flowShare is the flow-solver estimate of one virtual mesh's alltoall
+// share (the small-shape path).
+func (m *CommSlowdown) flowShare(u, v int) float64 {
+	a, b, _, _, shifts, _ := m.defaults()
 	h := topo.NewHxMesh(a, b, u, v, topo.DefaultLinkParams())
 	c := simcore.Compile(h.Network) // throwaway: skip the interning cache
 	table := routing.NewTable(c)
@@ -161,7 +207,35 @@ func (m *CommSlowdown) computeShare(u, v int) float64 {
 	if err != nil {
 		// The virtual mesh is always connected; treat a solver failure as
 		// the analytic bound rather than poisoning the schedule.
-		return analysis.AlltoallShare(a, b)
+		return analysis.AlltoallShareMesh(a, b, u, v)
 	}
 	return share
+}
+
+// boundaryScale calibrates the analytic bound against the flow solver: the
+// largest square shape still below MaxAccels anchors the ratio
+// flowShare/analyticBound, so the two regimes agree (up to the solver's
+// sampling noise) where they hand over.
+func (m *CommSlowdown) boundaryScale() float64 {
+	m.refOnce.Do(func() {
+		a, b, _, maxAccels, _, _ := m.defaults()
+		s := 1
+		for (s+1)*(s+1)*a*b <= maxAccels {
+			s++
+		}
+		if s < 2 {
+			// No multi-board shape fits the budget: nothing to anchor to;
+			// use the uncalibrated bound.
+			m.refScale = 1
+			return
+		}
+		bound := analysis.AlltoallShareMesh(a, b, s, s)
+		flow := m.flowShare(s, s)
+		if bound <= 0 || flow <= 0 {
+			m.refScale = 1
+			return
+		}
+		m.refScale = flow / bound
+	})
+	return m.refScale
 }

@@ -57,6 +57,15 @@ type TraceJob struct {
 	// of Service that placement bandwidth stretches. Synthetic traces use
 	// the generator's default; zero means compute-bound.
 	CommFrac float64 `json:"comm_frac,omitempty"`
+	// MinBoards, when positive and below Boards, marks the job as elastic:
+	// under Config.Elastic the scheduler may run it on as few as MinBoards
+	// boards (halving steps), stretching it by the width ratio. Zero means
+	// rigid.
+	MinBoards int `json:"min_boards,omitempty"`
+	// Priority orders preemption: under Config.Preempt a queued job may
+	// checkpoint-evict running jobs of strictly lower priority. Zero is
+	// the default (lowest) class.
+	Priority int `json:"priority,omitempty"`
 }
 
 // TraceConfig parameterizes the synthetic trace generator.
@@ -86,6 +95,13 @@ type TraceConfig struct {
 	MaxBoards int
 	// CommFrac is the communication share assigned to every job.
 	CommFrac float64
+	// ElasticFrac is the fraction of jobs marked elastic (MinBoards set to
+	// ~Boards/4). Drawn from a side RNG stream so traces generated with
+	// zero fracs stay byte-identical to older versions.
+	ElasticFrac float64
+	// PriorityFrac is the fraction of jobs given an elevated priority
+	// (uniform in 1..3); the rest stay at the default class 0.
+	PriorityFrac float64
 }
 
 // Synthetic generates a trace of cfg.Jobs jobs under the seed: exponential
@@ -121,6 +137,12 @@ func Synthetic(cfg TraceConfig, seed int64) []TraceJob {
 	// Pareto(xm, alpha) has mean xm·alpha/(alpha-1); pick xm for MeanService.
 	xm := cfg.MeanService * (alpha - 1) / alpha
 	rng := rand.New(rand.NewSource(seed))
+	// Elastic/priority marks come from a separate stream so enabling them
+	// never perturbs the arrival/size/service draws of existing traces.
+	var rng2 *rand.Rand
+	if cfg.ElasticFrac > 0 || cfg.PriorityFrac > 0 {
+		rng2 = rand.New(rand.NewSource(seed ^ 0x5eed9e1a57))
+	}
 	jobs := make([]TraceJob, 0, cfg.Jobs)
 	t := 0.0
 	for len(jobs) < cfg.Jobs {
@@ -133,13 +155,22 @@ func Synthetic(cfg TraceConfig, seed int64) []TraceJob {
 		if cfg.MaxBoards > 0 && boards > cfg.MaxBoards {
 			continue // oversized sample: discard, keep the arrival clock
 		}
-		jobs = append(jobs, TraceJob{
+		tj := TraceJob{
 			ID:       int32(len(jobs)),
 			Arrival:  t,
 			Boards:   boards,
 			Service:  service,
 			CommFrac: cfg.CommFrac,
-		})
+		}
+		if rng2 != nil {
+			if cfg.ElasticFrac > 0 && rng2.Float64() < cfg.ElasticFrac && boards > 1 {
+				tj.MinBoards = (boards + 3) / 4
+			}
+			if cfg.PriorityFrac > 0 && rng2.Float64() < cfg.PriorityFrac {
+				tj.Priority = 1 + rng2.Intn(3)
+			}
+		}
+		jobs = append(jobs, tj)
 	}
 	return jobs
 }
@@ -151,6 +182,12 @@ func ParseTrace(data []byte) ([]TraceJob, error) {
 	if err := json.Unmarshal(data, &jobs); err != nil {
 		return nil, fmt.Errorf("sched: bad trace JSON: %w", err)
 	}
+	return finishTrace(jobs)
+}
+
+// finishTrace validates decoded trace jobs and returns them sorted by
+// arrival (stable for equal times). Shared by the JSON and CSV loaders.
+func finishTrace(jobs []TraceJob) ([]TraceJob, error) {
 	seen := make(map[int32]bool, len(jobs))
 	for i, j := range jobs {
 		switch {
@@ -166,6 +203,10 @@ func ParseTrace(data []byte) ([]TraceJob, error) {
 			return nil, fmt.Errorf("sched: trace job %d has non-positive service %g", j.ID, j.Service)
 		case j.CommFrac < 0 || j.CommFrac > 1:
 			return nil, fmt.Errorf("sched: trace job %d has comm_frac %g outside [0,1]", j.ID, j.CommFrac)
+		case j.MinBoards < 0 || j.MinBoards > j.Boards:
+			return nil, fmt.Errorf("sched: trace job %d has min_boards %d outside [0,%d]", j.ID, j.MinBoards, j.Boards)
+		case j.Priority < 0:
+			return nil, fmt.Errorf("sched: trace job %d has negative priority %d", j.ID, j.Priority)
 		}
 		seen[j.ID] = true
 	}

@@ -47,6 +47,12 @@ func TestCanonEqualSemanticsSameKey(t *testing.T) {
 		{"sched-defaults",
 			`{"kind":"sched","topo":"hx2mesh"}`,
 			`{"kind":"sched","policies":["firstfit"],"mtbfs":[0,40],"ckpts_h":[2],"jobs":120,"horizon_h":40,"trials":2}`},
+		{"sched-explicit-default-upper-penalty",
+			`{"kind":"sched"}`,
+			`{"kind":"sched","upper_penalty":1}`},
+		{"sched-explicit-off-v3-knobs",
+			`{"kind":"sched"}`,
+			`{"kind":"sched","interference":false,"elastic":false,"preempt":false}`},
 		{"zero-seed-is-default",
 			`{"kind":"resilience","seed":0,"fail_seed":0}`,
 			`{"kind":"resilience","seed":1,"fail_seed":1,"fail_links":0.2,"steps":5,"trials":3,"shifts":4}`},
@@ -71,6 +77,12 @@ func TestCanonMeaningfulChangeNewKey(t *testing.T) {
 		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","credit":true}`,
 		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","fail_links":0.05}`,
 		`{"kind":"alltoall_packet","topo":"hx2mesh","size":"tiny","fail_links":0.05,"fail_seed":2}`,
+		`{"kind":"sched"}`,
+		`{"kind":"sched","interference":true}`,
+		`{"kind":"sched","elastic":true}`,
+		`{"kind":"sched","preempt":true}`,
+		`{"kind":"sched","upper_penalty":0}`,
+		`{"kind":"sched","upper_penalty":0.5}`,
 	}
 	seen := map[string]string{keyOf(t, base): base}
 	for _, m := range mutants {
@@ -105,6 +117,13 @@ func TestCanonProperty(t *testing.T) {
 		}
 		if r.Kind == KindSched || rng.Intn(4) == 0 {
 			r.Topo = "hx2mesh" // keep sched/board faults valid
+		}
+		r.Interference = rng.Intn(2) == 0
+		r.Elastic = rng.Intn(2) == 0
+		r.Preempt = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			up := float64(rng.Intn(3)) // 0 is meaningful: explicitly free upper layer
+			r.UpperPenalty = &up
 		}
 		if rng.Intn(3) == 0 {
 			r.FailLinks = 0.05 * float64(1+rng.Intn(3))
@@ -147,12 +166,15 @@ func TestCanonProperty(t *testing.T) {
 		}
 
 		// Idempotence: canonical values survive a second pass unchanged.
+		up := cn.UpperPenalty
 		again, err := Canonicalize(Request{
 			Kind: cn.Kind, Topo: cn.Topo, Size: cn.Size, Bytes: cn.Bytes,
 			Shifts: cn.Shifts, Perms: cn.Perms, Seed: cn.Seed, Credit: cn.Credit,
 			FailLinks: cn.FailLinks, FailBoards: cn.FailBoards, FailSeed: cn.FailSeed,
 			Trials: cn.Trials, Steps: cn.Steps, Jobs: cn.Jobs, HorizonH: cn.HorizonH,
 			MTBFs: cn.MTBFs, CkptsH: cn.CkptsH, Policies: cn.Policies, Reserve: cn.Reserve,
+			Interference: cn.Interference, Elastic: cn.Elastic, Preempt: cn.Preempt,
+			UpperPenalty: &up,
 		})
 		if err != nil {
 			t.Fatalf("re-canonicalize %+v: %v", cn, err)
@@ -175,11 +197,41 @@ func TestCanonRejects(t *testing.T) {
 		{Kind: KindSched, Topo: "fattree"},
 		{Kind: KindSched, Policies: []string{"nosuchpolicy"}},
 		{Kind: KindSched, MTBFs: []float64{-1}},
+		{Kind: KindSched, UpperPenalty: fp(-0.5)},
 		{Kind: KindAlltoallPacket, FailBoards: 2, Topo: "dragonfly"},
 	}
 	for _, r := range bad {
 		if _, err := Canonicalize(r); err == nil {
 			t.Errorf("Canonicalize(%+v) accepted, want error", r)
 		}
+	}
+}
+
+func fp(v float64) *float64 { return &v }
+
+// The upper_penalty canonicalization fix: an explicit 0 ("upper-layer
+// crossings are free") is a meaningful setting, distinct from an omitted
+// field (which means the model default of 1). Before the pointer field, 0
+// and omitted marshalled identically and the off setting silently became
+// the default.
+func TestCanonUpperPenaltyZeroExplicit(t *testing.T) {
+	omitted := keyOf(t, `{"kind":"sched"}`)
+	explicitDefault := keyOf(t, `{"kind":"sched","upper_penalty":1}`)
+	off := keyOf(t, `{"kind":"sched","upper_penalty":0}`)
+	if omitted != explicitDefault {
+		t.Error("upper_penalty:1 differs from omitted; explicit defaults must canonicalize away")
+	}
+	if off == omitted {
+		t.Error("upper_penalty:0 canonicalizes like omitted; the off setting is lost")
+	}
+	cn, err := Canonicalize(Request{Kind: KindSched, UpperPenalty: fp(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.UpperPenalty != 0 {
+		t.Fatalf("canonical upper_penalty = %v, want explicit 0", cn.UpperPenalty)
+	}
+	if !strings.Contains(string(cn.CanonicalJSON()), `"upper_penalty":0`) {
+		t.Fatalf("canonical JSON hides the explicit 0: %s", cn.CanonicalJSON())
 	}
 }

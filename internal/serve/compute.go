@@ -144,13 +144,33 @@ func (cp *Computer) Compute(cn *Canon) ([]byte, error) {
 		for i, p := range cn.Policies {
 			policies[i] = sched.Policy(p)
 		}
+		trace := sched.TraceConfig{
+			Jobs: cn.Jobs, ArrivalRate: 4, MeanService: 3,
+			AccelsPerBoard: c.Hx.Cfg.A * c.Hx.Cfg.B,
+			MaxBoards:      c.Grid.X * c.Grid.Y, CommFrac: 0.3,
+		}
+		if cn.Elastic {
+			trace.ElasticFrac = 0.3
+		}
+		if cn.Preempt {
+			trace.PriorityFrac = 0.2
+		}
+		sd := sched.NewCommSlowdown(c.Hx.Cfg.A, c.Hx.Cfg.B)
+		if cn.UpperPenalty == 0 {
+			sd.UpperPenalty = -1 // the explicit-off sentinel; 0 would mean "default"
+		} else {
+			sd.UpperPenalty = cn.UpperPenalty
+		}
+		base := sched.Config{
+			HorizonH: cn.HorizonH, RepairH: 10, Reservation: cn.Reserve,
+			Slowdown: sd, Elastic: cn.Elastic, Preempt: cn.Preempt,
+		}
+		if cn.Interference {
+			base.Interference = &sched.Interference{BoardA: c.Hx.Cfg.A, BoardB: c.Hx.Cfg.B}
+		}
 		pts, err := cp.pool.SchedSweep(c, runner.SchedSweepConfig{
-			Trace: sched.TraceConfig{
-				Jobs: cn.Jobs, ArrivalRate: 4, MeanService: 3,
-				AccelsPerBoard: c.Hx.Cfg.A * c.Hx.Cfg.B,
-				MaxBoards:      c.Grid.X * c.Grid.Y, CommFrac: 0.3,
-			},
-			Base:         sched.Config{HorizonH: cn.HorizonH, RepairH: 10, Reservation: cn.Reserve},
+			Trace:        trace,
+			Base:         base,
 			MTBFs:        cn.MTBFs,
 			CheckpointsH: cn.CkptsH,
 			Policies:     policies,

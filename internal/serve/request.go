@@ -96,6 +96,23 @@ type Request struct {
 	Policies []string `json:"policies,omitempty"`
 	// Reserve enables EASY reservation backfill in sched runs.
 	Reserve bool `json:"reserve,omitempty"`
+	// Interference enables joint contention pricing in sched runs: jobs
+	// are admitted and re-stretched at the slowdown a flow solve over the
+	// shared upper-layer fat-trees assigns them.
+	Interference bool `json:"interference,omitempty"`
+	// Elastic enables malleable jobs in sched runs (shrunk admission,
+	// regrow, failure trims; a fixed fraction of the synthetic trace is
+	// marked elastic).
+	Elastic bool `json:"elastic,omitempty"`
+	// Preempt enables priority preemption in sched runs (a fixed fraction
+	// of the synthetic trace gets elevated priority).
+	Preempt bool `json:"preempt,omitempty"`
+	// UpperPenalty scales the upper-layer crossing cost of the sched
+	// slowdown model. A pointer so that an explicit 0 ("upper-layer
+	// crossings are free") is distinguishable from an omitted field
+	// (default 1): with a plain float64 the two marshal identically and
+	// the off setting would be silently coerced to the default.
+	UpperPenalty *float64 `json:"upper_penalty,omitempty"`
 }
 
 // Canon is the canonical form of a request: every meaningful field
@@ -103,25 +120,29 @@ type Request struct {
 // below == sorted key order) is the preimage of the content address, and
 // by the determinism contract equal Canon ⇒ bit-identical result.
 type Canon struct {
-	Bytes      int64     `json:"bytes"`
-	CkptsH     []float64 `json:"ckpts_h,omitempty"`
-	Credit     bool      `json:"credit"`
-	FailBoards int       `json:"fail_boards"`
-	FailLinks  float64   `json:"fail_links"`
-	FailSeed   int64     `json:"fail_seed"`
-	HorizonH   float64   `json:"horizon_h"`
-	Jobs       int       `json:"jobs"`
-	Kind       string    `json:"kind"`
-	MTBFs      []float64 `json:"mtbfs,omitempty"`
-	Perms      int       `json:"perms"`
-	Policies   []string  `json:"policies,omitempty"`
-	Reserve    bool      `json:"reserve"`
-	Seed       int64     `json:"seed"`
-	Shifts     int       `json:"shifts"`
-	Size       string    `json:"size"`
-	Steps      int       `json:"steps"`
-	Topo       string    `json:"topo"`
-	Trials     int       `json:"trials"`
+	Bytes        int64     `json:"bytes"`
+	CkptsH       []float64 `json:"ckpts_h,omitempty"`
+	Credit       bool      `json:"credit"`
+	Elastic      bool      `json:"elastic"`
+	FailBoards   int       `json:"fail_boards"`
+	FailLinks    float64   `json:"fail_links"`
+	FailSeed     int64     `json:"fail_seed"`
+	HorizonH     float64   `json:"horizon_h"`
+	Interference bool      `json:"interference"`
+	Jobs         int       `json:"jobs"`
+	Kind         string    `json:"kind"`
+	MTBFs        []float64 `json:"mtbfs,omitempty"`
+	Perms        int       `json:"perms"`
+	Policies     []string  `json:"policies,omitempty"`
+	Preempt      bool      `json:"preempt"`
+	Reserve      bool      `json:"reserve"`
+	Seed         int64     `json:"seed"`
+	Shifts       int       `json:"shifts"`
+	Size         string    `json:"size"`
+	Steps        int       `json:"steps"`
+	Topo         string    `json:"topo"`
+	Trials       int       `json:"trials"`
+	UpperPenalty float64   `json:"upper_penalty"`
 }
 
 // CanonicalJSON is the canonical byte form: one JSON object, keys in
@@ -304,6 +325,19 @@ func Canonicalize(r Request) (*Canon, error) {
 			if _, err := sched.ParsePolicy(p); err != nil {
 				return nil, fmt.Errorf("serve: %w", err)
 			}
+		}
+		c.Interference = r.Interference
+		c.Elastic = r.Elastic
+		c.Preempt = r.Preempt
+		// Omitted means the model default; an explicit 0 is the meaningful
+		// "upper-layer crossings are free" setting and must survive
+		// canonicalization as 0, not be coerced back to 1.
+		c.UpperPenalty = 1
+		if r.UpperPenalty != nil {
+			if *r.UpperPenalty < 0 {
+				return nil, fmt.Errorf("serve: negative upper_penalty %v", *r.UpperPenalty)
+			}
+			c.UpperPenalty = *r.UpperPenalty
 		}
 	}
 	return c, nil

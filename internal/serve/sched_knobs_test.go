@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hammingmesh/internal/runner"
+)
+
+// The scheduler-v3 knobs reach the sweep: flipping interference, elastic,
+// preempt or upper_penalty produces a distinct canonical request whose
+// computed body reflects the knob, and the off request reproduces the
+// pre-knob body exactly (the fields default to inert).
+func TestComputeSchedV3Knobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	cp := NewComputer(runner.New(0))
+	compute := func(r Request) ([]byte, *Canon) {
+		t.Helper()
+		cn, err := Canonicalize(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := cp.Compute(cn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body, cn
+	}
+	base := Request{Kind: KindSched, Jobs: 40, HorizonH: 20, Trials: 1,
+		MTBFs: []float64{0}, CkptsH: []float64{2}, Policies: []string{"bestfit"}}
+	off, cnOff := compute(base)
+
+	on := base
+	on.Interference = true
+	on.Elastic = true
+	on.Preempt = true
+	body, cnOn := compute(on)
+	if cnOff.Key() == cnOn.Key() {
+		t.Fatal("v3 knobs did not change the content address")
+	}
+	var res SchedResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("body is not a SchedResult: %v", err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no sweep points")
+	}
+	for _, pt := range res.Points {
+		if !pt.Interference || !pt.Elastic || !pt.Preempt {
+			t.Fatalf("knobs lost on the way to the sweep: %+v", pt)
+		}
+	}
+
+	// upper_penalty: explicit 0 is a real setting, so it must both hash
+	// and compute differently from the default on a comm-heavy trace.
+	free := base
+	free.UpperPenalty = fp(0)
+	freeBody, cnFree := compute(free)
+	if cnFree.Key() == cnOff.Key() {
+		t.Fatal("upper_penalty:0 shares the default's content address")
+	}
+	var resOff, resFree SchedResult
+	if err := json.Unmarshal(off, &resOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(freeBody, &resFree); err != nil {
+		t.Fatal(err)
+	}
+	if resOff.Points[0].SlowP99 < resFree.Points[0].SlowP99 {
+		t.Fatalf("free upper layer slowed jobs down: default SlowP99 %v < free %v",
+			resOff.Points[0].SlowP99, resFree.Points[0].SlowP99)
+	}
+}

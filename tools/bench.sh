@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — run the tracked performance benchmarks and emit a JSON
-# trajectory file (default BENCH_PR9.json) for CI artifacts, so the
+# trajectory file (default BENCH_PR10.json) for CI artifacts, so the
 # ns/op, allocs/op and events/op of the hot paths are comparable across
 # PRs:
 #
@@ -15,6 +15,8 @@
 #   DaemonDistinct       hxd miss path: canonicalize + batch + pool
 #   JournalAppend/*      checkpoint append overhead, nosync and fsync
 #   SweepResume/*        journaled sched sweep: fresh run vs journal replay
+#   SchedContention/*    joint contention pricing vs isolation slowdowns,
+#                        cold (solves/op) vs shared-model memoized (%memo)
 #
 # Usage:
 #   tools/bench.sh [out.json]
@@ -27,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 raw="bench-raw.txt"
 args=(-run '^$'
   -bench 'BenchmarkPacketSim$|BenchmarkPacketSimQueue$|BenchmarkPacketSimShards$|BenchmarkTraceOverhead$|BenchmarkAlltoallSweep$|BenchmarkAlltoallSweepFaulted$|BenchmarkFlowSolverLarge$'
@@ -56,6 +58,12 @@ go test -run '^$' -bench 'BenchmarkJournalAppend$' \
   -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/journal | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkSweepResume$' \
   -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/runner | tee -a "$raw"
+
+# Contention-pricing trajectory: what the joint flow solve adds on top of
+# the isolation slowdown model per sched run, and how much the shared
+# placement-set memo claws back (the sweep layer shares one model).
+go test -run '^$' -bench 'BenchmarkSchedContention$' \
+  -benchmem -benchtime "${BENCHTIME:-1x}" ./internal/sched | tee -a "$raw"
 
 # One JSON object per benchmark line: name, iterations, then every
 # value/unit metric pair go test printed (ns/op, B/op, allocs/op,
